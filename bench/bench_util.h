@@ -1,0 +1,35 @@
+// Shared helpers for the bench binaries: scale parsing and common headers.
+//
+// Every bench accepts an optional scale factor as argv[1] (or the
+// EBV_BENCH_SCALE environment variable); 1.0 matches EXPERIMENTS.md. Each
+// binary prints the table/figure it regenerates, with the paper's headline
+// values quoted in the preamble for side-by-side comparison.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace ebv::bench {
+
+inline double parse_scale(int argc, char** argv, double default_scale) {
+  if (argc > 1) {
+    const double s = std::atof(argv[1]);
+    if (s > 0.0) return s;
+  }
+  if (const char* env = std::getenv("EBV_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0) return s;
+  }
+  return default_scale;
+}
+
+inline void preamble(const std::string& what, const std::string& paper_claim,
+                     double scale) {
+  std::cout << "=== " << what << " ===\n"
+            << "paper reference: " << paper_claim << "\n"
+            << "dataset scale:   " << scale
+            << " (synthetic stand-ins; see DESIGN.md section 4)\n\n";
+}
+
+}  // namespace ebv::bench

@@ -1,0 +1,98 @@
+// Figure 2 — execution time of CC, PR and SSSP on the three power-law
+// stand-ins, sweeping the number of workers, for the six partition
+// algorithms plus the Galois-like and Blogel-like comparators.
+#include <iostream>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "bsp/cost_model.h"
+#include "common/format.h"
+#include "engines/blogel.h"
+#include "engines/smp_engine.h"
+#include "partition/registry.h"
+
+namespace {
+
+using namespace ebv;
+
+double smp_time(const Graph& g, analysis::App app, PartitionId workers) {
+  engines::SmpEngine::Options opts;
+  opts.threads = workers;
+  const engines::SmpEngine engine(opts);
+  switch (app) {
+    case analysis::App::kCC: return engine.connected_components(g).execution_seconds;
+    case analysis::App::kPageRank: return engine.pagerank(g, 20).execution_seconds;
+    case analysis::App::kSssp: return engine.sssp(g, 0).execution_seconds;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv, 0.25);
+  bench::preamble(
+      "Figure 2: execution time vs workers (power-law graphs)",
+      "paper: EBV fastest in most cases, -16.8% vs Ginger on average; "
+      "Galois competitive on LiveJournal, limited on larger graphs",
+      scale);
+
+  const std::vector<analysis::Dataset> graphs = {
+      analysis::make_livejournal_sim(scale),
+      analysis::make_twitter_sim(scale),
+      analysis::make_friendster_sim(scale)};
+  const std::vector<PartitionId> worker_counts = {4, 8, 16, 24};
+
+  for (const analysis::App app :
+       {analysis::App::kCC, analysis::App::kPageRank, analysis::App::kSssp}) {
+    for (const auto& d : graphs) {
+      std::cout << analysis::app_name(app) << " - " << d.name << " (|E|="
+                << with_commas(d.graph.num_edges()) << ")\n";
+      std::vector<std::string> headers = {"system"};
+      for (const PartitionId w : worker_counts) {
+        headers.push_back("p=" + std::to_string(w));
+      }
+      analysis::Table table(headers);
+
+      for (const auto& name : paper_partitioners()) {
+        std::vector<std::string> row = {name};
+        for (const PartitionId w : worker_counts) {
+          const auto r = analysis::run_experiment(d.graph, name, w, app);
+          row.push_back(format_duration(r.run.execution_seconds));
+        }
+        table.add_row(row);
+      }
+      {  // Galois-like shared-memory engine.
+        std::vector<std::string> row = {"galois*"};
+        for (const PartitionId w : worker_counts) {
+          row.push_back(format_duration(smp_time(d.graph, app, w)));
+        }
+        table.add_row(row);
+      }
+      if (app != analysis::App::kPageRank) {  // paper excludes Blogel from PR
+        std::vector<std::string> row = {"blogel*"};
+        const engines::VoronoiPartitioner voronoi;
+        for (const PartitionId w : worker_counts) {
+          PartitionConfig config;
+          config.num_parts = w;
+          const EdgePartition part = voronoi.partition(d.graph, config);
+          auto r = analysis::run_with_partition(d.graph, part, "blogel", app);
+          double exec = r.run.execution_seconds;
+          if (app == analysis::App::kCC) {
+            exec += engines::VoronoiPartitioner::precompute_seconds(
+                d.graph, w, bsp::ClusterCostModel());
+          }
+          row.push_back(format_duration(exec));
+        }
+        table.add_row(row);
+      }
+      table.print(std::cout);
+      std::cout << "\n";
+    }
+  }
+  std::cout << "(*) galois/blogel are the simulated cross-framework\n"
+               "comparators described in DESIGN.md section 4.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 3 — CC and SSSP execution time over the USARoad stand-in,
+// sweeping the number of workers: the non-power-law case where the
+// local-based partitioners (NE, METIS) shine.
+#include <iostream>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "bsp/cost_model.h"
+#include "common/format.h"
+#include "engines/blogel.h"
+#include "engines/smp_engine.h"
+#include "partition/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace ebv;
+  const double scale = bench::parse_scale(argc, argv, 0.5);
+  bench::preamble(
+      "Figure 3: CC and SSSP over USARoad vs workers",
+      "paper: NE best among all partitioners; METIS comparable to "
+      "EBV/Ginger/CVC on the road graph",
+      scale);
+
+  const auto d = analysis::make_usaroad_sim(scale);
+  const std::vector<PartitionId> worker_counts = {4, 8, 12, 16, 24};
+
+  for (const analysis::App app : {analysis::App::kCC, analysis::App::kSssp}) {
+    std::cout << analysis::app_name(app) << " - usaroad (|E|="
+              << with_commas(d.graph.num_edges()) << ")\n";
+    std::vector<std::string> headers = {"system"};
+    for (const PartitionId w : worker_counts) {
+      headers.push_back("p=" + std::to_string(w));
+    }
+    analysis::Table table(headers);
+    for (const auto& name : paper_partitioners()) {
+      std::vector<std::string> row = {name};
+      for (const PartitionId w : worker_counts) {
+        const auto r = analysis::run_experiment(d.graph, name, w, app);
+        row.push_back(format_duration(r.run.execution_seconds));
+      }
+      table.add_row(row);
+    }
+    {
+      std::vector<std::string> row = {"galois*"};
+      for (const PartitionId w : worker_counts) {
+        engines::SmpEngine::Options opts;
+        opts.threads = w;
+        const engines::SmpEngine engine(opts);
+        const double t = app == analysis::App::kCC
+                             ? engine.connected_components(d.graph)
+                                   .execution_seconds
+                             : engine.sssp(d.graph, 0).execution_seconds;
+        row.push_back(format_duration(t));
+      }
+      table.add_row(row);
+    }
+    {
+      std::vector<std::string> row = {"blogel*"};
+      const engines::VoronoiPartitioner voronoi;
+      for (const PartitionId w : worker_counts) {
+        PartitionConfig config;
+        config.num_parts = w;
+        const EdgePartition part = voronoi.partition(d.graph, config);
+        auto r = analysis::run_with_partition(d.graph, part, "blogel", app);
+        double exec = r.run.execution_seconds;
+        if (app == analysis::App::kCC) {
+          exec += engines::VoronoiPartitioner::precompute_seconds(
+              d.graph, w, bsp::ClusterCostModel());
+        }
+        row.push_back(format_duration(exec));
+      }
+      table.add_row(row);
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

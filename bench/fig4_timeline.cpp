@@ -1,0 +1,63 @@
+// Figure 4 — per-worker breakdown of CC with 4 workers over LiveJournal:
+// an ASCII Gantt view of computation / communication / synchronisation
+// per worker, per partition algorithm.
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "analysis/experiment.h"
+#include "bench_util.h"
+#include "common/format.h"
+#include "partition/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace ebv;
+  const double scale = bench::parse_scale(argc, argv, 1.0);
+  bench::preamble(
+      "Figure 4: per-worker timeline of CC with 4 workers over LiveJournal",
+      "paper: EBV/Ginger/DBH/CVC workers finish together; NE and METIS "
+      "leave 3 of 4 workers waiting at the barrier",
+      scale);
+
+  const auto d = analysis::make_livejournal_sim(scale);
+  constexpr int kBarWidth = 60;
+
+  for (const auto& name : paper_partitioners()) {
+    const auto r = analysis::run_experiment(d.graph, name, 4,
+                                            analysis::App::kCC);
+    // Per-worker totals across supersteps.
+    std::vector<double> comp(4, 0.0);
+    std::vector<double> comm(4, 0.0);
+    for (const auto& step : r.run.steps) {
+      for (PartitionId i = 0; i < 4; ++i) {
+        comp[i] += step[i].comp_seconds;
+        comm[i] += step[i].comm_seconds;
+      }
+    }
+    double busiest = 0.0;
+    for (PartitionId i = 0; i < 4; ++i) {
+      busiest = std::max(busiest, comp[i] + comm[i]);
+    }
+    std::cout << name << " (execution "
+              << format_duration(r.run.execution_seconds) << ", delta C "
+              << format_duration(r.run.delta_c_seconds) << ")\n";
+    for (PartitionId i = 0; i < 4; ++i) {
+      const double total = comp[i] + comm[i];
+      const int comp_cells = busiest == 0.0
+                                 ? 0
+                                 : static_cast<int>(kBarWidth * comp[i] /
+                                                    busiest);
+      const int comm_cells =
+          busiest == 0.0
+              ? 0
+              : static_cast<int>(kBarWidth * total / busiest) - comp_cells;
+      const int idle_cells = kBarWidth - comp_cells - comm_cells;
+      std::cout << "  w" << i << " |" << std::string(comp_cells, '#')
+                << std::string(comm_cells, '~')
+                << std::string(std::max(0, idle_cells), '.') << "| "
+                << format_duration(total) << "\n";
+    }
+    std::cout << "       # compute   ~ network   . waiting (sync)\n\n";
+  }
+  return 0;
+}

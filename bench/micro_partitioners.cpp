@@ -1,0 +1,80 @@
+// Micro-benchmarks (google-benchmark): partitioner throughput in edges/s
+// and the cost of the building blocks (CSR construction, edge sorting,
+// metrics, distributed-graph assembly).
+#include <benchmark/benchmark.h>
+
+#include "bsp/distributed_graph.h"
+#include "graph/csr.h"
+#include "graph/generators.h"
+#include "partition/metrics.h"
+#include "partition/registry.h"
+
+namespace {
+
+using namespace ebv;
+
+const Graph& test_graph() {
+  static const Graph g = gen::chung_lu(20'000, 200'000, 2.3, false, 42);
+  return g;
+}
+
+void BM_Partitioner(benchmark::State& state, const std::string& name) {
+  const Graph& g = test_graph();
+  const auto partitioner = make_partitioner(name);
+  PartitionConfig config;
+  config.num_parts = static_cast<PartitionId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partitioner->partition(g, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+
+void BM_CsrBuild(benchmark::State& state) {
+  const Graph& g = test_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CsrGraph::build(g, CsrGraph::Direction::kBoth));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+
+void BM_EdgeSort(benchmark::State& state) {
+  const Graph& g = test_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        make_edge_order(g, EdgeOrder::kSortedAscending, 42));
+  }
+}
+
+void BM_Metrics(benchmark::State& state) {
+  const Graph& g = test_graph();
+  const auto part = make_partitioner("dbh")->partition(g, {.num_parts = 16});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_metrics(g, part));
+  }
+}
+
+void BM_DistributedGraphBuild(benchmark::State& state) {
+  const Graph& g = test_graph();
+  const auto part = make_partitioner("ebv")->partition(g, {.num_parts = 16});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bsp::DistributedGraph(g, part));
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Partitioner, ebv, std::string("ebv"))->Arg(16);
+BENCHMARK_CAPTURE(BM_Partitioner, ginger, std::string("ginger"))->Arg(16);
+BENCHMARK_CAPTURE(BM_Partitioner, dbh, std::string("dbh"))->Arg(16);
+BENCHMARK_CAPTURE(BM_Partitioner, cvc, std::string("cvc"))->Arg(16);
+BENCHMARK_CAPTURE(BM_Partitioner, ne, std::string("ne"))->Arg(16);
+BENCHMARK_CAPTURE(BM_Partitioner, metis, std::string("metis"))->Arg(16);
+BENCHMARK_CAPTURE(BM_Partitioner, hdrf, std::string("hdrf"))->Arg(16);
+BENCHMARK_CAPTURE(BM_Partitioner, ebv_p4, std::string("ebv"))->Arg(4);
+BENCHMARK_CAPTURE(BM_Partitioner, ebv_p64, std::string("ebv"))->Arg(64);
+BENCHMARK(BM_CsrBuild);
+BENCHMARK(BM_EdgeSort);
+BENCHMARK(BM_Metrics);
+BENCHMARK(BM_DistributedGraphBuild);

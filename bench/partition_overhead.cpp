@@ -1,0 +1,42 @@
+// Partition overhead — wall-clock cost of each partition algorithm per
+// dataset. The paper excludes partition time from Figures 2/3 (§V-B);
+// this bench makes the excluded quantity visible, reproducing the
+// self-based vs local-based overhead gap discussed in §VI.
+#include <iostream>
+
+#include "analysis/experiment.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "common/format.h"
+#include "common/timer.h"
+#include "partition/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace ebv;
+  const double scale = bench::parse_scale(argc, argv, 0.5);
+  bench::preamble(
+      "Partition overhead (wall clock, excluded from the paper's Fig. 2/3)",
+      "self-based algorithms (hashing) are near-free; EBV pays O(p) per "
+      "edge; local-based NE/METIS pay for global structure",
+      scale);
+
+  for (const auto& d : analysis::standard_datasets(scale)) {
+    std::cout << d.name << " (|E|=" << with_commas(d.graph.num_edges())
+              << ", p=" << d.table3_parts << ")\n";
+    analysis::Table table({"partitioner", "wall time", "edges/s"});
+    for (const auto& name : all_partitioners()) {
+      const auto partitioner = make_partitioner(name);
+      PartitionConfig config;
+      config.num_parts = d.table3_parts;
+      const Timer timer;
+      (void)partitioner->partition(d.graph, config);
+      const double elapsed = timer.seconds();
+      table.add_row({name, format_duration(elapsed),
+                     format_sci(static_cast<double>(d.graph.num_edges()) /
+                                elapsed)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

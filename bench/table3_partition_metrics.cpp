@@ -1,0 +1,43 @@
+// Table III — edge/vertex imbalance factors and replication factor for
+// EBV, Ginger, DBH, CVC, NE and METIS over the four graphs (12/12/32/32
+// subgraphs as in the paper).
+#include <iostream>
+
+#include "analysis/experiment.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "common/format.h"
+#include "common/timer.h"
+#include "graph/stats.h"
+#include "partition/metrics.h"
+#include "partition/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace ebv;
+  const double scale = bench::parse_scale(argc, argv, 1.0);
+  bench::preamble(
+      "Table III: partitioning metrics (edge imb / vertex imb / replication)",
+      "paper: EBV ~1.00/1.00 balance with replication below Ginger/DBH/CVC; "
+      "NE vertex imbalance and METIS edge imbalance grow as eta drops",
+      scale);
+
+  for (const auto& d : analysis::standard_datasets(scale)) {
+    const double eta = estimate_power_law_exponent(d.graph);
+    std::cout << d.name << " (eta=" << format_fixed(eta, 2)
+              << ", p=" << d.table3_parts << ")\n";
+    analysis::Table table({"partitioner", "edge imbalance", "vertex imbalance",
+                           "replication factor"});
+    for (const auto& name : paper_partitioners()) {
+      // METIS is scored with the paper's edge-cut metric definitions
+      // (§III-C); everything else with the vertex-cut definitions.
+      const PartitionMetrics m =
+          analysis::paper_metrics(d.graph, name, d.table3_parts);
+      table.add_row({name, format_fixed(m.edge_imbalance, 2),
+                     format_fixed(m.vertex_imbalance, 2),
+                     format_fixed(m.replication_factor, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces the paper's Figure 1: partitioning the 6-vertex example graph
+// with EBV under the sorted preprocessing vs. the "alphabetical" (natural)
+// edge order, showing how the order changes which vertices get cut.
+#include <iostream>
+#include <string>
+
+#include "analysis/table.h"
+#include "common/format.h"
+#include "graph/generators.h"
+#include "partition/ebv.h"
+#include "partition/metrics.h"
+
+namespace {
+
+constexpr const char* kNames = "ABCDEF";
+
+void show(const ebv::Graph& graph, const ebv::EdgePartition& partition,
+          const std::string& title) {
+  using namespace ebv;
+  std::cout << title << "\n";
+  for (PartitionId i = 0; i < partition.num_parts; ++i) {
+    std::cout << "  subgraph " << i << ": ";
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      if (partition.part_of_edge[e] != i) continue;
+      std::cout << '(' << kNames[graph.edge(e).src] << ','
+                << kNames[graph.edge(e).dst] << ") ";
+    }
+    std::cout << "\n";
+  }
+  const PartitionMetrics m = compute_metrics(graph, partition);
+  std::cout << "  replication factor = " << format_fixed(m.replication_factor, 3)
+            << "  (cut vertices: "
+            << m.total_replicas - graph.num_vertices() << ")\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace ebv;
+  const Graph graph = gen::figure1_graph();
+  const EbvPartitioner ebv;
+
+  PartitionConfig sorted;
+  sorted.num_parts = 2;
+  sorted.edge_order = EdgeOrder::kSortedAscending;
+  show(graph, ebv.partition(graph, sorted),
+       "EBV with sorting preprocessing (paper Fig. 1, left)");
+
+  PartitionConfig natural = sorted;
+  natural.edge_order = EdgeOrder::kNatural;
+  show(graph, ebv.partition(graph, natural),
+       "EBV with natural edge order");
+
+  std::cout << "The sorted order assigns low-degree edges first, seeding\n"
+               "both subgraphs before the hub vertex A must be cut.\n";
+  return 0;
+}

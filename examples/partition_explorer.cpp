@@ -1,0 +1,60 @@
+// Partition explorer: compare every registered partitioner on a chosen
+// graph family — the fastest way to see the paper's Table III trade-offs.
+//
+//   ./partition_explorer [family] [num_parts]
+//   family ∈ {powerlaw, road, uniform, ba}
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "analysis/table.h"
+#include "common/format.h"
+#include "common/timer.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "partition/metrics.h"
+#include "partition/registry.h"
+
+namespace {
+
+ebv::Graph make_graph(const std::string& family) {
+  using namespace ebv;
+  if (family == "road") return gen::road_grid(120, 120, 0.92, 42);
+  if (family == "uniform") return gen::erdos_renyi(20'000, 200'000, 42);
+  if (family == "ba") return gen::barabasi_albert(20'000, 5, 42);
+  return gen::chung_lu(20'000, 200'000, 2.2, false, 42);  // powerlaw
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ebv;
+  const std::string family = argc > 1 ? argv[1] : "powerlaw";
+  const PartitionId parts =
+      argc > 2 ? static_cast<PartitionId>(std::atoi(argv[2])) : 16;
+
+  const Graph graph = make_graph(family);
+  const GraphStats stats = compute_stats(graph);
+  std::cout << "family=" << family << " |V|=" << with_commas(stats.num_vertices)
+            << " |E|=" << with_commas(stats.num_edges)
+            << " eta=" << format_fixed(stats.eta, 2) << " p=" << parts
+            << "\n\n";
+
+  analysis::Table table({"partitioner", "edge imb", "vertex imb",
+                         "replication", "partition time"});
+  for (const std::string& name : all_partitioners()) {
+    const auto partitioner = make_partitioner(name);
+    PartitionConfig config;
+    config.num_parts = parts;
+    const Timer timer;
+    const EdgePartition partition = partitioner->partition(graph, config);
+    const double elapsed = timer.seconds();
+    const PartitionMetrics m = compute_metrics(graph, partition);
+    table.add_row({name, format_fixed(m.edge_imbalance, 3),
+                   format_fixed(m.vertex_imbalance, 3),
+                   format_fixed(m.replication_factor, 3),
+                   format_duration(elapsed)});
+  }
+  table.print(std::cout);
+  return 0;
+}

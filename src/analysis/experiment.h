@@ -1,0 +1,72 @@
+// Experiment drivers shared by the bench binaries: the four dataset
+// stand-ins (DESIGN.md §4) and the partition→distribute→run pipeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bsp/runtime.h"
+#include "graph/graph.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+
+namespace ebv::analysis {
+
+/// A dataset stand-in plus the paper's reference numbers for Table I.
+struct Dataset {
+  std::string name;        // usaroad / livejournal / friendster / twitter
+  Graph graph;
+  double paper_eta = 0.0;  // η reported in the paper's Table I
+  bool power_law = false;
+  PartitionId table3_parts = 0;  // partition count in Tables III–V
+};
+
+/// `scale` multiplies the stand-ins' vertex counts (1.0 ≈ benchmark size,
+/// ~0.1 for quick tests). All generators are seeded deterministically.
+Dataset make_usaroad_sim(double scale = 1.0, std::uint64_t seed = 42);
+Dataset make_livejournal_sim(double scale = 1.0, std::uint64_t seed = 42);
+Dataset make_friendster_sim(double scale = 1.0, std::uint64_t seed = 42);
+Dataset make_twitter_sim(double scale = 1.0, std::uint64_t seed = 42);
+
+/// All four, in the paper's η-descending table order.
+std::vector<Dataset> standard_datasets(double scale = 1.0,
+                                       std::uint64_t seed = 42);
+
+/// Application selector for the experiment pipeline.
+enum class App { kCC, kPageRank, kSssp };
+
+std::string app_name(App app);
+
+/// One partition+run outcome.
+struct ExperimentResult {
+  std::string partitioner;
+  PartitionId num_parts = 0;
+  PartitionMetrics metrics;
+  bsp::RunStats run;
+  double partition_wall_seconds = 0.0;
+};
+
+/// Partition `graph` with the named algorithm, build the distributed graph
+/// and execute the app on the simulated cluster. SSSP sources vertex 0.
+ExperimentResult run_experiment(const Graph& graph,
+                                const std::string& partitioner_name,
+                                PartitionId num_parts, App app,
+                                const bsp::RunOptions& options = {},
+                                std::uint32_t pagerank_iterations = 20);
+
+/// Table III/V metrics with the paper's per-family definitions (§III-C):
+/// vertex-cut metrics for the vertex-cut algorithms, edge-cut metrics
+/// (disjoint V_i, replicated cross edges, Σ|Ei|/|E|) for METIS.
+PartitionMetrics paper_metrics(const Graph& graph,
+                               const std::string& partitioner_name,
+                               PartitionId num_parts);
+
+/// As run_experiment but with an externally produced partition (used for
+/// the Blogel/Voronoi series).
+ExperimentResult run_with_partition(const Graph& graph,
+                                    const EdgePartition& partition,
+                                    const std::string& label, App app,
+                                    const bsp::RunOptions& options = {},
+                                    std::uint32_t pagerank_iterations = 20);
+
+}  // namespace ebv::analysis

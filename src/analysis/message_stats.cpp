@@ -1,0 +1,31 @@
+#include "analysis/message_stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.h"
+
+namespace ebv::analysis {
+
+MessageStats compute_message_stats(
+    const std::vector<std::uint64_t>& sent_per_worker) {
+  EBV_REQUIRE(!sent_per_worker.empty(), "no workers");
+  MessageStats s;
+  s.total = std::accumulate(sent_per_worker.begin(), sent_per_worker.end(),
+                            std::uint64_t{0});
+  s.max_per_worker =
+      *std::max_element(sent_per_worker.begin(), sent_per_worker.end());
+  s.mean_per_worker =
+      static_cast<double>(s.total) / static_cast<double>(sent_per_worker.size());
+  s.max_over_mean = s.mean_per_worker == 0.0
+                        ? 1.0
+                        : static_cast<double>(s.max_per_worker) /
+                              s.mean_per_worker;
+  return s;
+}
+
+MessageStats compute_message_stats(const bsp::RunStats& run) {
+  return compute_message_stats(run.messages_sent_per_worker);
+}
+
+}  // namespace ebv::analysis

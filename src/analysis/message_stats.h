@@ -1,0 +1,25 @@
+// Message-balance statistics — the paper's platform-independent metric
+// (Tables IV and V): total message count and the max/mean ratio of
+// per-worker sent messages ("the overall execution time is denoted by the
+// slowest worker", §V-C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bsp/runtime.h"
+
+namespace ebv::analysis {
+
+struct MessageStats {
+  std::uint64_t total = 0;
+  std::uint64_t max_per_worker = 0;
+  double mean_per_worker = 0.0;
+  double max_over_mean = 1.0;
+};
+
+MessageStats compute_message_stats(const bsp::RunStats& run);
+MessageStats compute_message_stats(
+    const std::vector<std::uint64_t>& sent_per_worker);
+
+}  // namespace ebv::analysis

@@ -1,0 +1,57 @@
+#include "analysis/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace ebv::analysis {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  EBV_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  EBV_REQUIRE(row.size() == headers_.size(),
+              "row width does not match header count");
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << row[c] << std::string(width[c] - row[c].size(), ' ')
+          << " |";
+    }
+    out << '\n';
+  };
+  auto print_rule = [&] {
+    out << '+';
+    for (const std::size_t w : width) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace ebv::analysis

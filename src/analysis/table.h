@@ -1,0 +1,26 @@
+// Fixed-width ASCII table printer used by every bench binary to emit the
+// paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ebv::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Row length must match the header count.
+  void add_row(std::vector<std::string> row);
+
+  void print(std::ostream& out) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ebv::analysis

@@ -1,0 +1,121 @@
+#include "apps/cc.h"
+
+#include <any>
+#include <numeric>
+#include <vector>
+
+namespace ebv::apps {
+namespace {
+
+/// Per-worker persistent state: the local connected components, computed
+/// once (the subgraph never changes), plus the current minimum label of
+/// each local component. Replica sync then only needs to merge labels at
+/// component granularity — the "think like a graph" optimisation.
+struct CcState {
+  std::vector<VertexId> comp_of;              // local vertex -> component
+  std::vector<std::vector<VertexId>> members; // component -> local vertices
+  std::vector<bsp::Value> comp_label;         // component -> current label
+};
+
+CcState build_state(bsp::WorkerContext& ctx) {
+  const bsp::LocalSubgraph& ls = ctx.local();
+  const VertexId n = ls.num_vertices();
+
+  // Union-find over the local edges.
+  std::vector<VertexId> parent(n);
+  std::iota(parent.begin(), parent.end(), VertexId{0});
+  auto find = [&](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const Edge& e : ls.edges) {
+    const VertexId ra = find(e.src);
+    const VertexId rb = find(e.dst);
+    if (ra != rb) parent[ra < rb ? rb : ra] = ra < rb ? ra : rb;
+  }
+  ctx.add_work(ls.num_edges() + n);
+
+  CcState state;
+  state.comp_of.resize(n);
+  std::vector<VertexId> comp_index(n, kInvalidVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId root = find(v);
+    if (comp_index[root] == kInvalidVertex) {
+      comp_index[root] = static_cast<VertexId>(state.members.size());
+      state.members.emplace_back();
+    }
+    state.comp_of[v] = comp_index[root];
+    state.members[comp_index[root]].push_back(v);
+  }
+
+  // Initial label of each component: the minimum init value (global id)
+  // over its members.
+  state.comp_label.resize(state.members.size());
+  for (std::size_t c = 0; c < state.members.size(); ++c) {
+    bsp::Value label = ctx.value(state.members[c].front());
+    for (const VertexId v : state.members[c]) {
+      label = std::min(label, ctx.value(v));
+    }
+    state.comp_label[c] = label;
+  }
+  return state;
+}
+
+}  // namespace
+
+void ConnectedComponents::compute(bsp::WorkerContext& ctx,
+                                  std::uint32_t superstep) const {
+  const bsp::LocalSubgraph& ls = ctx.local();
+
+  if (superstep == 0) {
+    ctx.state() = build_state(ctx);
+  }
+  CcState& state = *std::any_cast<CcState>(&ctx.state());
+
+  // Fold frontier labels into component labels.
+  if (superstep == 0) {
+    // All components are fresh; every member needs its label installed.
+  } else {
+    for (const VertexId v : ctx.updated()) {
+      const VertexId c = state.comp_of[v];
+      if (ctx.value(v) < state.comp_label[c]) {
+        state.comp_label[c] = ctx.value(v);
+      }
+      ctx.add_work(1);
+    }
+  }
+
+  // Install component labels on members that still disagree, emitting
+  // changed replicated vertices.
+  for (std::size_t c = 0; c < state.members.size(); ++c) {
+    const bsp::Value label = state.comp_label[c];
+    // Skip components that cannot have stale members: on superstep 0 all
+    // must be visited; afterwards only components touched above. A cheap
+    // over-approximation — visit all — would be quadratic across
+    // supersteps, so track via a dirty scan only when updated() is small.
+    if (superstep != 0) {
+      bool dirty = false;
+      for (const VertexId v : state.members[c]) {
+        if (ctx.value(v) != label) {
+          dirty = true;
+          break;
+        }
+      }
+      if (!dirty) continue;
+    }
+    for (const VertexId v : state.members[c]) {
+      ctx.add_work(1);
+      if (ctx.value(v) != label) {
+        ctx.set_value(v, label);
+        // Unchanged replicas hold their init value (their own id), which
+        // is identical on every replica — only changes need publishing.
+        if (ls.is_replicated[v] != 0) ctx.emit(v, label);
+      }
+    }
+  }
+}
+
+}  // namespace ebv::apps

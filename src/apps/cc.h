@@ -1,0 +1,24 @@
+// Connected Components (weakly connected, undirected semantics) as a
+// subgraph-centric program: minimum-label propagation run to *local*
+// convergence inside every superstep — the "think like a graph" pattern
+// that lets subgraph-centric frameworks converge in few supersteps.
+#pragma once
+
+#include "bsp/runtime.h"
+
+namespace ebv::apps {
+
+class ConnectedComponents final : public bsp::SubgraphProgram {
+ public:
+  [[nodiscard]] std::string name() const override { return "cc"; }
+
+  [[nodiscard]] bsp::Value init_value(VertexId global) const override {
+    return static_cast<bsp::Value>(global);
+  }
+  [[nodiscard]] bsp::Value combine(bsp::Value a, bsp::Value b) const override {
+    return a < b ? a : b;
+  }
+  void compute(bsp::WorkerContext& ctx, std::uint32_t superstep) const override;
+};
+
+}  // namespace ebv::apps

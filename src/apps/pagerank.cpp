@@ -1,0 +1,36 @@
+#include "apps/pagerank.h"
+
+#include <vector>
+
+namespace ebv::apps {
+
+void PageRank::compute(bsp::WorkerContext& ctx,
+                       std::uint32_t /*superstep*/) const {
+  const bsp::LocalSubgraph& ls = ctx.local();
+  const VertexId n = ls.num_vertices();
+
+  // Partial in-sums over local edges.
+  std::vector<bsp::Value> partial(n, 0.0);
+  std::vector<std::uint8_t> has_partial(n, 0);
+  std::uint64_t work = 0;
+  for (const Edge& e : ls.edges) {
+    ++work;
+    const std::uint32_t outdeg = ls.global_out_degree[e.src];
+    if (outdeg == 0) continue;
+    partial[e.dst] += ctx.value(e.src) / static_cast<double>(outdeg);
+    has_partial[e.dst] = 1;
+  }
+  ctx.add_work(work + n);
+
+  // Masters always emit (a zero partial still triggers the teleport-only
+  // update); mirrors emit only real partial mass.
+  for (VertexId v = 0; v < n; ++v) {
+    if (ls.is_master[v] != 0 || ls.is_replicated[v] == 0) {
+      ctx.emit(v, partial[v]);
+    } else if (has_partial[v] != 0) {
+      ctx.emit(v, partial[v]);
+    }
+  }
+}
+
+}  // namespace ebv::apps

@@ -1,0 +1,49 @@
+// PageRank on the vertex-cut BSP runtime. Each superstep is one power
+// iteration: every worker accumulates the partial sums Σ rank(u)/outdeg(u)
+// over its local in-edges, the replica sync adds partials across workers
+// (combine = +), and the master applies teleport + damping before
+// broadcasting the new rank to mirrors.
+#pragma once
+
+#include "bsp/runtime.h"
+
+namespace ebv::apps {
+
+class PageRank final : public bsp::SubgraphProgram {
+ public:
+  PageRank(VertexId num_vertices, std::uint32_t iterations = 20,
+           double damping = 0.85)
+      : num_vertices_(num_vertices),
+        iterations_(iterations),
+        damping_(damping) {}
+
+  [[nodiscard]] std::string name() const override { return "pagerank"; }
+
+  [[nodiscard]] bsp::Value init_value(VertexId /*global*/) const override {
+    return 1.0 / static_cast<double>(num_vertices_);
+  }
+  [[nodiscard]] bsp::Value combine(bsp::Value a, bsp::Value b) const override {
+    return a + b;
+  }
+  [[nodiscard]] bool combine_with_current() const override { return false; }
+  [[nodiscard]] bsp::Value apply(VertexId /*global*/,
+                                 bsp::Value combined) const override {
+    return (1.0 - damping_) / static_cast<double>(num_vertices_) +
+           damping_ * combined;
+  }
+  [[nodiscard]] std::optional<std::uint32_t> fixed_supersteps()
+      const override {
+    return iterations_;
+  }
+  void compute(bsp::WorkerContext& ctx, std::uint32_t superstep) const override;
+
+  [[nodiscard]] double damping() const { return damping_; }
+  [[nodiscard]] std::uint32_t iterations() const { return iterations_; }
+
+ private:
+  VertexId num_vertices_;
+  std::uint32_t iterations_;
+  double damping_;
+};
+
+}  // namespace ebv::apps

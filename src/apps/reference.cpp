@@ -1,0 +1,114 @@
+#include "apps/reference.h"
+
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "graph/csr.h"
+
+namespace ebv::apps {
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), VertexId{0});
+  }
+  VertexId find(VertexId v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+  void unite(VertexId a, VertexId b) {
+    const VertexId ra = find(a);
+    const VertexId rb = find(b);
+    if (ra == rb) return;
+    // Union by min id so roots are the component minima.
+    if (ra < rb) {
+      parent_[rb] = ra;
+    } else {
+      parent_[ra] = rb;
+    }
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+};
+
+}  // namespace
+
+std::vector<VertexId> cc_reference(const Graph& graph) {
+  UnionFind uf(graph.num_vertices());
+  for (const Edge& e : graph.edges()) uf.unite(e.src, e.dst);
+  std::vector<VertexId> labels(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) labels[v] = uf.find(v);
+  return labels;
+}
+
+std::vector<double> sssp_reference(const Graph& graph, VertexId source) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(graph.num_vertices(), kInf);
+  if (source >= graph.num_vertices()) return dist;
+  const CsrGraph out = CsrGraph::build(graph, CsrGraph::Direction::kOut);
+
+  using Item = std::pair<double, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    const auto neighbors = out.neighbors(v);
+    const auto edge_ids = out.edge_ids(v);
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      const double candidate = d + graph.weight(edge_ids[k]);
+      if (candidate < dist[neighbors[k]]) {
+        dist[neighbors[k]] = candidate;
+        heap.push({candidate, neighbors[k]});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> pagerank_reference(const Graph& graph,
+                                       std::uint32_t iterations,
+                                       double damping) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> rank(n, n == 0 ? 0.0 : 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), (1.0 - damping) / n);
+    for (const Edge& e : graph.edges()) {
+      next[e.dst] += damping * rank[e.src] / graph.out_degree(e.src);
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<double> bfs_reference(const Graph& graph, VertexId source) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> hops(graph.num_vertices(), kInf);
+  if (source >= graph.num_vertices()) return hops;
+  const CsrGraph both = CsrGraph::build(graph, CsrGraph::Direction::kBoth);
+  std::queue<VertexId> q;
+  hops[source] = 0.0;
+  q.push(source);
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (const VertexId w : both.neighbors(v)) {
+      if (hops[w] == kInf) {
+        hops[w] = hops[v] + 1.0;
+        q.push(w);
+      }
+    }
+  }
+  return hops;
+}
+
+}  // namespace ebv::apps

@@ -1,0 +1,28 @@
+// Sequential single-machine reference implementations. These are the
+// ground truth the integration tests compare the BSP programs against.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ebv::apps {
+
+/// Weakly-connected component labels (min vertex id per component),
+/// computed with union-find.
+std::vector<VertexId> cc_reference(const Graph& graph);
+
+/// Dijkstra distances from `source` over out-edges (unit weights when the
+/// graph is unweighted). Unreachable vertices get +infinity.
+std::vector<double> sssp_reference(const Graph& graph, VertexId source);
+
+/// Power-iteration PageRank with the same formula as apps::PageRank
+/// (teleport (1-d)/N, no dangling redistribution), `iterations` rounds.
+std::vector<double> pagerank_reference(const Graph& graph,
+                                       std::uint32_t iterations,
+                                       double damping = 0.85);
+
+/// BFS hop counts over the symmetrised adjacency.
+std::vector<double> bfs_reference(const Graph& graph, VertexId source);
+
+}  // namespace ebv::apps

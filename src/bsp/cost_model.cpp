@@ -1,0 +1,3 @@
+#include "bsp/cost_model.h"
+
+// Header-only; this TU anchors the target.

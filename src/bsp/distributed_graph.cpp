@@ -1,0 +1,99 @@
+#include "bsp/distributed_graph.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace ebv::bsp {
+
+DistributedGraph::DistributedGraph(const Graph& graph,
+                                   const EdgePartition& partition) {
+  EBV_REQUIRE(partition.part_of_edge.size() == graph.num_edges(),
+              "partition does not match graph");
+  const PartitionId p = partition.num_parts;
+  EBV_REQUIRE(p >= 1, "partition must have at least one part");
+  num_global_vertices_ = graph.num_vertices();
+  num_global_edges_ = graph.num_edges();
+
+  locals_.resize(p);
+  for (PartitionId i = 0; i < p; ++i) locals_[i].part = i;
+
+  // Pass 1: per-vertex incident-edge counts per part -> replica lists and
+  // master selection (most incident edges, ties to lowest part id).
+  parts_of_vertex_.assign(graph.num_vertices(), {});
+  master_of_vertex_.assign(graph.num_vertices(), kInvalidPartition);
+  // edge_count_in_part[v] pairs (part, count) — vertices touch few parts,
+  // so a small vector per vertex is compact and cache-friendly.
+  std::vector<std::vector<std::pair<PartitionId, std::uint32_t>>> incident(
+      graph.num_vertices());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const PartitionId part = partition.part_of_edge[e];
+    EBV_REQUIRE(part < p, "edge assigned to invalid part");
+    for (const VertexId v : {graph.edge(e).src, graph.edge(e).dst}) {
+      auto& list = incident[v];
+      auto it = std::find_if(list.begin(), list.end(),
+                             [part](const auto& pr) { return pr.first == part; });
+      if (it == list.end()) {
+        list.emplace_back(part, 1);
+      } else {
+        ++it->second;
+      }
+    }
+  }
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    auto& list = incident[v];
+    if (list.empty()) continue;
+    std::sort(list.begin(), list.end());
+    PartitionId master = list.front().first;
+    std::uint32_t best = 0;
+    for (const auto& [part, count] : list) {
+      if (count > best) {
+        best = count;
+        master = part;
+      }
+    }
+    master_of_vertex_[v] = master;
+    parts_of_vertex_[v].reserve(list.size());
+    for (const auto& [part, count] : list) parts_of_vertex_[v].push_back(part);
+    total_replicas_ += list.size();
+  }
+
+  // Pass 2: local vertex id spaces (insertion order = ascending global id
+  // per part, giving deterministic local layouts).
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (const PartitionId part : parts_of_vertex_[v]) {
+      LocalSubgraph& ls = locals_[part];
+      ls.local_ids.emplace(v, static_cast<VertexId>(ls.global_ids.size()));
+      ls.global_ids.push_back(v);
+    }
+  }
+
+  // Pass 3: local edges (+ weights) in global edge order.
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    LocalSubgraph& ls = locals_[partition.part_of_edge[e]];
+    const Edge edge = graph.edge(e);
+    ls.edges.push_back({ls.local_ids.at(edge.src), ls.local_ids.at(edge.dst)});
+    if (graph.has_weights()) ls.edge_weights.push_back(graph.weight(e));
+  }
+
+  // Pass 4: per-worker adjacency and replica flags.
+  for (LocalSubgraph& ls : locals_) {
+    const VertexId n = ls.num_vertices();
+    ls.out_csr = CsrGraph::build(n, ls.edges, CsrGraph::Direction::kOut);
+    ls.in_csr = CsrGraph::build(n, ls.edges, CsrGraph::Direction::kIn);
+    ls.both_csr = CsrGraph::build(n, ls.edges, CsrGraph::Direction::kBoth);
+    ls.is_replicated.resize(n);
+    ls.is_master.resize(n);
+    ls.master_part.resize(n);
+    ls.global_out_degree.resize(n);
+    for (VertexId lv = 0; lv < n; ++lv) {
+      const VertexId gv = ls.global_ids[lv];
+      ls.is_replicated[lv] = parts_of_vertex_[gv].size() > 1 ? 1 : 0;
+      ls.is_master[lv] = master_of_vertex_[gv] == ls.part ? 1 : 0;
+      ls.master_part[lv] = master_of_vertex_[gv];
+      ls.global_out_degree[lv] = graph.out_degree(gv);
+    }
+  }
+}
+
+}  // namespace ebv::bsp

@@ -1,0 +1,97 @@
+// DistributedGraph: the per-worker view of a vertex-cut partitioned graph.
+//
+// Construction takes a Graph plus an EdgePartition and produces, for every
+// worker, a local subgraph over dense *local* vertex ids, together with the
+// replica routing tables the BSP runtime needs:
+//   - a vertex covered by edges in several parts is *replicated*;
+//   - one replica is designated the master (the part holding the most
+//     incident edges, ties to the lowest part id) — masters combine values
+//     from mirrors and broadcast the result back (PowerGraph-style sync,
+//     which is how DRONE-like subgraph-centric frameworks communicate).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/graph.h"
+#include "partition/partitioner.h"
+
+namespace ebv::bsp {
+
+/// Worker-local subgraph. Edge endpoints are local ids; `global_ids`
+/// translates back.
+struct LocalSubgraph {
+  PartitionId part = 0;
+
+  std::vector<VertexId> global_ids;                   // local -> global
+  std::unordered_map<VertexId, VertexId> local_ids;   // global -> local
+
+  std::vector<Edge> edges;          // endpoints are local ids
+  std::vector<float> edge_weights;  // empty when the graph is unweighted
+
+  CsrGraph out_csr;   // local out-adjacency
+  CsrGraph in_csr;    // local in-adjacency
+  CsrGraph both_csr;  // symmetrised (for CC-style propagation)
+
+  std::vector<std::uint8_t> is_replicated;  // per local vertex
+  std::vector<std::uint8_t> is_master;      // per local vertex
+  std::vector<PartitionId> master_part;     // per local vertex
+  std::vector<std::uint32_t> global_out_degree;  // per local vertex
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>(global_ids.size());
+  }
+  [[nodiscard]] EdgeId num_edges() const { return edges.size(); }
+  [[nodiscard]] float weight(EdgeId e) const {
+    return edge_weights.empty() ? 1.0f : edge_weights[e];
+  }
+  /// Local id of a global vertex, or kInvalidVertex if absent here.
+  [[nodiscard]] VertexId local_of(VertexId global) const {
+    const auto it = local_ids.find(global);
+    return it == local_ids.end() ? kInvalidVertex : it->second;
+  }
+};
+
+class DistributedGraph {
+ public:
+  /// Builds all worker-local structures. O(|E| + Σ|Vi|).
+  DistributedGraph(const Graph& graph, const EdgePartition& partition);
+
+  [[nodiscard]] PartitionId num_workers() const {
+    return static_cast<PartitionId>(locals_.size());
+  }
+  [[nodiscard]] VertexId num_global_vertices() const {
+    return num_global_vertices_;
+  }
+  [[nodiscard]] EdgeId num_global_edges() const { return num_global_edges_; }
+
+  [[nodiscard]] const LocalSubgraph& local(PartitionId i) const {
+    return locals_[i];
+  }
+
+  /// Parts holding vertex v (ascending). Size 1 for non-replicated
+  /// vertices; empty for vertices covered by no edge.
+  [[nodiscard]] const std::vector<PartitionId>& parts_of(VertexId global) const {
+    return parts_of_vertex_[global];
+  }
+  /// Master part of v, or kInvalidPartition for uncovered vertices.
+  [[nodiscard]] PartitionId master_of(VertexId global) const {
+    return master_of_vertex_[global];
+  }
+
+  /// Σ|Vi| — total replicas, matching the metrics module.
+  [[nodiscard]] std::uint64_t total_replicas() const {
+    return total_replicas_;
+  }
+
+ private:
+  VertexId num_global_vertices_ = 0;
+  EdgeId num_global_edges_ = 0;
+  std::uint64_t total_replicas_ = 0;
+  std::vector<LocalSubgraph> locals_;
+  std::vector<std::vector<PartitionId>> parts_of_vertex_;
+  std::vector<PartitionId> master_of_vertex_;
+};
+
+}  // namespace ebv::bsp

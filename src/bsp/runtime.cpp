@@ -1,0 +1,237 @@
+#include "bsp/runtime.h"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+#include "common/assert.h"
+#include "common/timer.h"
+
+namespace ebv::bsp {
+namespace {
+
+/// One value in flight between two workers.
+struct WireMessage {
+  VertexId global = kInvalidVertex;
+  Value value = 0.0;
+};
+
+}  // namespace
+
+RunStats BspRuntime::run(const DistributedGraph& graph,
+                         const SubgraphProgram& program) const {
+  const Timer wall;
+  const PartitionId p = graph.num_workers();
+  EBV_REQUIRE(p >= 1, "need at least one worker");
+  const ClusterCostModel& cost = options_.cost_model;
+
+  // --- Per-worker state -------------------------------------------------
+  std::vector<std::vector<Value>> values(p);
+  std::vector<std::vector<Value>> acc(p);
+  std::vector<std::vector<std::uint8_t>> has_acc(p);
+  std::vector<std::vector<VertexId>> emitted(p);
+  std::vector<std::vector<VertexId>> updated(p);   // frontier after sync
+  // last_sync[i][lv]: the value of a replicated vertex as of the last
+  // replica synchronisation. Masters broadcast whenever the merged value
+  // diverges from it — comparing against the *current* value would miss
+  // improvements the master made in-place during local compute.
+  std::vector<std::vector<Value>> last_sync(p);
+  for (PartitionId i = 0; i < p; ++i) {
+    const LocalSubgraph& ls = graph.local(i);
+    values[i].resize(ls.num_vertices());
+    for (VertexId lv = 0; lv < ls.num_vertices(); ++lv) {
+      values[i][lv] = program.init_value(ls.global_ids[lv]);
+    }
+    acc[i].assign(ls.num_vertices(), Value{});
+    has_acc[i].assign(ls.num_vertices(), 0);
+    last_sync[i] = values[i];
+  }
+
+  // Mailboxes: to_master[j] / to_mirror[j] hold messages addressed to
+  // worker j, accumulated in ascending sender order (deterministic).
+  std::vector<std::vector<WireMessage>> to_master(p);
+  std::vector<std::vector<WireMessage>> to_mirror(p);
+
+  // Program-defined per-worker scratch, persistent across supersteps.
+  std::vector<std::any> worker_state(p);
+
+  RunStats stats;
+  stats.messages_sent_per_worker.assign(p, 0);
+  const std::optional<std::uint32_t> fixed = program.fixed_supersteps();
+
+  for (std::uint32_t step = 0; step < options_.max_supersteps; ++step) {
+    std::vector<WorkerStepStats> step_stats(p);
+    std::vector<std::uint64_t> msgs_local(p, 0);
+    std::vector<std::uint64_t> msgs_remote(p, 0);
+
+    // --- Stage 1: computation ------------------------------------------
+    // Workers only touch their own state, so the parallel policy runs
+    // them on independent threads; results are identical either way.
+    auto run_worker = [&](PartitionId i) {
+      WorkerContext ctx(graph.local(i), values[i], acc[i], has_acc[i],
+                        emitted[i], program);
+      ctx.updated_ = &updated[i];
+      ctx.state_ = &worker_state[i];
+      program.compute(ctx, step);
+      step_stats[i].work_units = ctx.work_units();
+      step_stats[i].comp_seconds = cost.comp_seconds(ctx.work_units());
+      updated[i].clear();
+    };
+    if (options_.policy == ExecutionPolicy::kParallel && p > 1) {
+      std::vector<std::thread> threads;
+      threads.reserve(p);
+      for (PartitionId i = 0; i < p; ++i) {
+        threads.emplace_back(run_worker, i);
+      }
+      for (std::thread& t : threads) t.join();
+    } else {
+      for (PartitionId i = 0; i < p; ++i) run_worker(i);
+    }
+
+    // --- Stage 2: communication -----------------------------------------
+    // 2a. route emissions: non-replicated vertices resolve locally;
+    //     mirrors send their accumulator to the master part.
+    auto send = [&](PartitionId from, PartitionId to) {
+      ++stats.messages_sent_per_worker[from];
+      ++step_stats[from].messages_sent;
+      ++step_stats[to].messages_received;
+      ++stats.total_messages;
+      if (cost.same_node(from, to)) {
+        ++msgs_local[from];
+      } else {
+        ++msgs_remote[from];
+      }
+    };
+
+    bool any_change = false;
+    for (PartitionId i = 0; i < p; ++i) {
+      const LocalSubgraph& ls = graph.local(i);
+      for (const VertexId lv : emitted[i]) {
+        if (ls.is_replicated[lv] == 0) {
+          // Single-copy vertex: resolve in place.
+          Value merged = acc[i][lv];
+          if (program.combine_with_current()) {
+            merged = program.combine(merged, values[i][lv]);
+          }
+          const Value next = program.apply(ls.global_ids[lv], merged);
+          if (next != values[i][lv]) {
+            values[i][lv] = next;
+            updated[i].push_back(lv);
+            any_change = true;
+          }
+          has_acc[i][lv] = 0;
+        } else if (ls.is_master[lv] == 0) {
+          // Mirror: ship the accumulator to the master part.
+          const PartitionId m = ls.master_part[lv];
+          to_master[m].push_back({ls.global_ids[lv], acc[i][lv]});
+          send(i, m);
+          has_acc[i][lv] = 0;
+        }
+        // Master replicas keep has_acc set; consumed in 2b.
+      }
+    }
+
+    // 2b. masters merge local + received accumulators, apply, and
+    //     broadcast changed values to every mirror part.
+    for (PartitionId m = 0; m < p; ++m) {
+      const LocalSubgraph& ls = graph.local(m);
+      // Fold received messages into the master's accumulator.
+      for (const WireMessage& msg : to_master[m]) {
+        const VertexId lv = ls.local_ids.at(msg.global);
+        EBV_ASSERT(ls.is_master[lv] != 0);
+        if (has_acc[m][lv] != 0) {
+          acc[m][lv] = program.combine(acc[m][lv], msg.value);
+        } else {
+          acc[m][lv] = msg.value;
+          has_acc[m][lv] = 1;
+          emitted[m].push_back(lv);
+        }
+      }
+      to_master[m].clear();
+
+      for (const VertexId lv : emitted[m]) {
+        if (has_acc[m][lv] == 0) continue;  // already resolved in 2a
+        if (ls.is_replicated[lv] != 0 && ls.is_master[lv] == 0) continue;
+        if (ls.is_replicated[lv] == 0) continue;  // resolved in 2a
+        Value merged = acc[m][lv];
+        if (program.combine_with_current()) {
+          merged = program.combine(merged, values[m][lv]);
+        }
+        const Value next = program.apply(ls.global_ids[lv], merged);
+        has_acc[m][lv] = 0;
+        if (next != values[m][lv]) {
+          values[m][lv] = next;
+          updated[m].push_back(lv);
+          any_change = true;
+        }
+        if (next == last_sync[m][lv]) continue;  // mirrors are up to date
+        last_sync[m][lv] = next;
+        any_change = true;
+        const VertexId gv = ls.global_ids[lv];
+        for (const PartitionId peer : graph.parts_of(gv)) {
+          if (peer == m) continue;
+          to_mirror[peer].push_back({gv, next});
+          send(m, peer);
+        }
+      }
+      emitted[m].clear();
+    }
+
+    // 2c. mirrors install broadcast values.
+    for (PartitionId i = 0; i < p; ++i) {
+      const LocalSubgraph& ls = graph.local(i);
+      for (const WireMessage& msg : to_mirror[i]) {
+        const VertexId lv = ls.local_ids.at(msg.global);
+        last_sync[i][lv] = msg.value;
+        if (values[i][lv] != msg.value) {
+          values[i][lv] = msg.value;
+          updated[i].push_back(lv);
+          any_change = true;
+        }
+      }
+      to_mirror[i].clear();
+      emitted[i].clear();  // all consumed (mirrors cleared acc in 2a)
+    }
+
+    // --- Stage 3: synchronisation (accounting) ---------------------------
+    double step_max = 0.0;
+    double step_min = std::numeric_limits<double>::infinity();
+    for (PartitionId i = 0; i < p; ++i) {
+      step_stats[i].comm_seconds =
+          cost.comm_seconds(msgs_local[i], msgs_remote[i]);
+      const double t = step_stats[i].comp_seconds + step_stats[i].comm_seconds;
+      step_max = std::max(step_max, t);
+      step_min = std::min(step_min, t);
+    }
+    stats.execution_seconds += step_max + cost.latency_seconds();
+    stats.delta_c_seconds += step_max - step_min;
+    for (PartitionId i = 0; i < p; ++i) {
+      stats.comp_seconds += step_stats[i].comp_seconds;
+      stats.comm_seconds += step_stats[i].comm_seconds;
+    }
+    stats.steps.push_back(std::move(step_stats));
+    ++stats.supersteps;
+
+    const bool more_fixed = fixed.has_value() && step + 1 < *fixed;
+    const bool done = fixed.has_value() ? !more_fixed : !any_change;
+    if (done) break;
+  }
+
+  stats.comp_seconds /= p;
+  stats.comm_seconds /= p;
+
+  // --- Gather final values from masters (uncovered vertices keep init). --
+  stats.values.resize(graph.num_global_vertices());
+  for (VertexId gv = 0; gv < graph.num_global_vertices(); ++gv) {
+    const PartitionId m = graph.master_of(gv);
+    if (m == kInvalidPartition) {
+      stats.values[gv] = program.init_value(gv);
+    } else {
+      stats.values[gv] = values[m][graph.local(m).local_ids.at(gv)];
+    }
+  }
+  stats.wall_seconds = wall.seconds();
+  return stats;
+}
+
+}  // namespace ebv::bsp

@@ -1,0 +1,189 @@
+// Subgraph-centric bulk-synchronous-parallel runtime (paper §IV-B).
+//
+// Execution is organised in supersteps with the paper's three stages:
+//   1. computation     — every worker runs the program's local compute over
+//                        its subgraph (typically to *local* convergence:
+//                        that is the subgraph-centric advantage);
+//   2. communication   — replica synchronisation: mirrors send accumulated
+//                        values to masters (1 message each), masters merge
+//                        with the program's combine()/apply() and broadcast
+//                        changes back to mirrors (1 message per mirror);
+//   3. synchronisation — a barrier; its cost is the max-minus-min skew ΔC.
+//
+// Programs exchange values through WorkerContext::emit(local, value); the
+// runtime owns all routing and counts every inter-worker message, which is
+// the paper's platform-independent comparison metric (§V-C).
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bsp/cost_model.h"
+#include "bsp/distributed_graph.h"
+
+namespace ebv::bsp {
+
+/// Universal vertex value. doubles represent CC labels and BFS hop counts
+/// exactly (integers < 2^53), SSSP distances, and PageRank mass.
+using Value = double;
+
+class WorkerContext;
+
+/// A subgraph-centric program. One instance is shared by all workers (it
+/// must be stateless apart from configuration); per-vertex state lives in
+/// the runtime's value arrays.
+class SubgraphProgram {
+ public:
+  virtual ~SubgraphProgram() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Initial value of global vertex v.
+  [[nodiscard]] virtual Value init_value(VertexId global) const = 0;
+
+  /// Merge two emitted values for the same vertex (min for CC/SSSP/BFS,
+  /// sum for PageRank partials). Must be associative and commutative.
+  [[nodiscard]] virtual Value combine(Value a, Value b) const = 0;
+
+  /// Whether the master folds the vertex's current value into the combine
+  /// (true for monotonic programs; false when emissions are partial
+  /// aggregates that replace the value, as in PageRank).
+  [[nodiscard]] virtual bool combine_with_current() const { return true; }
+
+  /// Master-side transform applied after combining, before broadcast.
+  /// PageRank applies teleport + damping here. Default: identity.
+  [[nodiscard]] virtual Value apply([[maybe_unused]] VertexId global,
+                                    Value combined) const {
+    return combined;
+  }
+
+  /// Local computation for one superstep. Read/write values via ctx;
+  /// report emitted updates with ctx.emit() and work with ctx.add_work().
+  virtual void compute(WorkerContext& ctx, std::uint32_t superstep) const = 0;
+
+  /// If set, the runtime executes exactly this many supersteps (PageRank);
+  /// otherwise it halts when a superstep changes no value anywhere.
+  [[nodiscard]] virtual std::optional<std::uint32_t> fixed_supersteps()
+      const {
+    return std::nullopt;
+  }
+};
+
+/// Per-worker, per-superstep instrumentation (virtual time).
+struct WorkerStepStats {
+  double comp_seconds = 0.0;
+  double comm_seconds = 0.0;
+  std::uint64_t work_units = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+};
+
+/// Full run result: final values + the measurements behind Tables II/IV/V
+/// and Figures 2/3/4.
+struct RunStats {
+  std::uint32_t supersteps = 0;
+  /// steps[k][i] — superstep k, worker i.
+  std::vector<std::vector<WorkerStepStats>> steps;
+
+  double execution_seconds = 0.0;  // Σ_k (max_i(comp+comm) + latency)
+  double comp_seconds = 0.0;       // paper `comp`:  Σ_i Σ_k comp_k_i / p
+  double comm_seconds = 0.0;       // paper `comm`:  Σ_i Σ_k comm_k_i / p
+  double delta_c_seconds = 0.0;    // paper ΔC: Σ_k (max_i − min_i)(comp+comm)
+  double wall_seconds = 0.0;       // real harness time (diagnostic only)
+
+  std::uint64_t total_messages = 0;
+  std::vector<std::uint64_t> messages_sent_per_worker;
+
+  /// Final vertex values indexed by global id (uncovered vertices keep
+  /// their init_value).
+  std::vector<Value> values;
+};
+
+/// How the computation stage executes. Virtual-time accounting and all
+/// results are identical under both policies (workers touch disjoint
+/// state); kParallel uses one OS thread per worker for wall-clock speed
+/// on multi-core hosts.
+enum class ExecutionPolicy { kSequential, kParallel };
+
+/// Runtime options.
+struct RunOptions {
+  ClusterCostModel cost_model;
+  /// Hard cap to guard against non-converging programs.
+  std::uint32_t max_supersteps = 10'000;
+  ExecutionPolicy policy = ExecutionPolicy::kSequential;
+};
+
+class BspRuntime {
+ public:
+  explicit BspRuntime(RunOptions options = RunOptions()) : options_(options) {}
+
+  /// Execute `program` over the distributed graph until convergence (or
+  /// the program's fixed superstep count).
+  RunStats run(const DistributedGraph& graph,
+               const SubgraphProgram& program) const;
+
+ private:
+  RunOptions options_;
+};
+
+/// The program's window into one worker. Created by the runtime.
+class WorkerContext {
+ public:
+  WorkerContext(const LocalSubgraph& local, std::vector<Value>& values,
+                std::vector<Value>& acc, std::vector<std::uint8_t>& has_acc,
+                std::vector<VertexId>& emitted, const SubgraphProgram& program)
+      : local_(local),
+        values_(values),
+        acc_(acc),
+        has_acc_(has_acc),
+        emitted_(emitted),
+        program_(program) {}
+
+  [[nodiscard]] const LocalSubgraph& local() const { return local_; }
+
+  [[nodiscard]] Value value(VertexId local_v) const { return values_[local_v]; }
+  void set_value(VertexId local_v, Value v) { values_[local_v] = v; }
+
+  /// Emit an update for a local vertex; the runtime combines emissions
+  /// across replicas during the communication stage.
+  void emit(VertexId local_v, Value v) {
+    if (has_acc_[local_v] != 0) {
+      acc_[local_v] = program_.combine(acc_[local_v], v);
+    } else {
+      acc_[local_v] = v;
+      has_acc_[local_v] = 1;
+      emitted_.push_back(local_v);
+    }
+  }
+
+  /// Local vertices whose values changed in the previous communication
+  /// stage — the frontier for incremental programs.
+  [[nodiscard]] const std::vector<VertexId>& updated() const {
+    return *updated_;
+  }
+
+  /// Account `units` of local work (≈ edges traversed).
+  void add_work(std::uint64_t units) { work_units_ += units; }
+  [[nodiscard]] std::uint64_t work_units() const { return work_units_; }
+
+  /// Per-worker scratch that persists across supersteps (e.g. CC keeps its
+  /// precomputed local components here). Empty on the first superstep.
+  [[nodiscard]] std::any& state() { return *state_; }
+
+ private:
+  friend class BspRuntime;
+  const LocalSubgraph& local_;
+  std::vector<Value>& values_;
+  std::vector<Value>& acc_;
+  std::vector<std::uint8_t>& has_acc_;
+  std::vector<VertexId>& emitted_;
+  const SubgraphProgram& program_;
+  const std::vector<VertexId>* updated_ = nullptr;
+  std::any* state_ = nullptr;
+  std::uint64_t work_units_ = 0;
+};
+
+}  // namespace ebv::bsp

@@ -1,0 +1,20 @@
+#include "common/assert.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ebv::detail {
+
+void require_failed(const char* expr, const char* file, int line,
+                    const std::string& message) {
+  throw std::invalid_argument(std::string("EBV_REQUIRE failed: ") + message +
+                              " [" + expr + " at " + file + ":" +
+                              std::to_string(line) + "]");
+}
+
+void assert_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "EBV_ASSERT failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace ebv::detail

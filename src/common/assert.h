@@ -1,0 +1,32 @@
+// Precondition and invariant checking.
+//
+// EBV_REQUIRE  — public API preconditions; throws std::invalid_argument so
+//                callers can recover (always on).
+// EBV_ASSERT   — internal invariants; aborts with a diagnostic (always on;
+//                the checks in this codebase are O(1) and off hot paths).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ebv::detail {
+
+[[noreturn]] void require_failed(const char* expr, const char* file, int line,
+                                 const std::string& message);
+[[noreturn]] void assert_failed(const char* expr, const char* file, int line);
+
+}  // namespace ebv::detail
+
+#define EBV_REQUIRE(expr, message)                                       \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::ebv::detail::require_failed(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                    \
+  } while (false)
+
+#define EBV_ASSERT(expr)                                            \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::ebv::detail::assert_failed(#expr, __FILE__, __LINE__);      \
+    }                                                               \
+  } while (false)

@@ -1,0 +1,39 @@
+#include "common/format.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ebv {
+
+std::string with_commas(std::uint64_t value) {
+  std::string raw = std::to_string(value);
+  std::string out;
+  out.reserve(raw.size() + raw.size() / 3);
+  int count = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string format_sci(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", digits, value);
+  return buf;
+}
+
+std::string format_duration(double seconds) {
+  if (seconds < 1e-3) return format_fixed(seconds * 1e6, 1) + " us";
+  if (seconds < 1.0) return format_fixed(seconds * 1e3, 1) + " ms";
+  return format_fixed(seconds, 2) + " s";
+}
+
+}  // namespace ebv

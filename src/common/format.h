@@ -1,0 +1,21 @@
+// Small formatting helpers for the reporting layer (tables, benches).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ebv {
+
+/// "1234567" -> "1,234,567".
+std::string with_commas(std::uint64_t value);
+
+/// Fixed-point with `digits` decimals, e.g. format_fixed(1.2345, 2) == "1.23".
+std::string format_fixed(double value, int digits);
+
+/// Scientific-style "4.05e+07" as used in the paper's Table IV.
+std::string format_sci(double value, int digits = 2);
+
+/// Human-readable duration from seconds: "12.3 ms", "4.56 s".
+std::string format_duration(double seconds);
+
+}  // namespace ebv

@@ -1,0 +1,27 @@
+#include "common/rng.h"
+
+#include "common/assert.h"
+
+namespace ebv {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
+  return mix64(seed ^ mix64(stream + 0x5851f42d4c957f2dULL));
+}
+
+std::uint64_t bounded(Rng& rng, std::uint64_t bound) {
+  EBV_ASSERT(bound > 0);
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = rng();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+}  // namespace ebv

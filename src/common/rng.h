@@ -1,0 +1,25 @@
+// Deterministic random-number utilities. Every stochastic component in the
+// library takes an explicit 64-bit seed so experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace ebv {
+
+/// Project-wide PRNG engine.
+using Rng = std::mt19937_64;
+
+/// Derive an independent child seed from (seed, stream). Used when a
+/// component needs several decorrelated streams from one user seed.
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream);
+
+/// SplitMix64 — stateless 64-bit mixer; also the hash used by the
+/// hash-family partitioners (DBH, CVC, random) so partition placement does
+/// not depend on std::hash implementation details.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+std::uint64_t bounded(Rng& rng, std::uint64_t bound);
+
+}  // namespace ebv

@@ -1,0 +1,28 @@
+// Wall-clock stopwatch used by instrumentation that reports real time
+// (partitioning overhead, total harness runtime). The BSP cluster itself is
+// timed with the deterministic virtual-time cost model in bsp/cost_model.h.
+#pragma once
+
+#include <chrono>
+
+namespace ebv {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ebv

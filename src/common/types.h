@@ -1,0 +1,31 @@
+// Core scalar types shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ebv {
+
+/// Dense vertex identifier. Graphs always use ids in [0, num_vertices).
+using VertexId = std::uint32_t;
+
+/// Edge index into a graph's edge list.
+using EdgeId = std::uint64_t;
+
+/// Subgraph (worker) identifier produced by a partitioner.
+using PartitionId = std::uint32_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr PartitionId kInvalidPartition =
+    std::numeric_limits<PartitionId>::max();
+
+/// A directed edge. Undirected inputs are materialised as two directed
+/// edges with opposite directions (paper §III-C).
+struct Edge {
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace ebv

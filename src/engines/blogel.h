@@ -1,0 +1,44 @@
+// Blogel-like block-centric comparator (Yan et al., VLDB 2014).
+//
+// Blogel partitions with a multi-source Graph Voronoi Diagram: sampled
+// seeds grow BFS regions ("blocks"), every block is connected, and blocks
+// are packed onto workers. The paper notes Blogel's CC essentially merges
+// whole blocks, so its pre-computing (Voronoi) time must be charged to CC
+// (paper §V-B); we do the same via `precompute_seconds`.
+//
+// The produced EdgePartition plugs into the ordinary BSP runtime, so the
+// Blogel series in Figures 2/3 runs the exact same protocol as the six
+// partition algorithms — only the placement and the extra charge differ.
+#pragma once
+
+#include "bsp/cost_model.h"
+#include "partition/partitioner.h"
+
+namespace ebv::engines {
+
+class VoronoiPartitioner final : public Partitioner {
+ public:
+  struct Options {
+    /// Seeds sampled per Voronoi round, as a fraction of vertices.
+    double seed_fraction = 0.001;
+    /// Blocks whose size exceeds cap·|V|/p are re-split next round.
+    std::uint32_t max_rounds = 5;
+  };
+
+  VoronoiPartitioner() : VoronoiPartitioner(Options()) {}
+  explicit VoronoiPartitioner(Options options) : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "voronoi"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& graph, const PartitionConfig& config) const override;
+
+  /// Virtual cost of the distributed Voronoi pre-compute on `p` workers —
+  /// added to Blogel's CC time as in the paper.
+  static double precompute_seconds(const Graph& graph, PartitionId p,
+                                   const bsp::ClusterCostModel& cost);
+
+ private:
+  Options options_;
+};
+
+}  // namespace ebv::engines

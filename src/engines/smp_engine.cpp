@@ -1,0 +1,108 @@
+#include "engines/smp_engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/assert.h"
+#include "graph/csr.h"
+
+namespace ebv::engines {
+
+SmpEngine::SmpEngine(Options options) : options_(options) {
+  EBV_REQUIRE(options_.threads >= 1, "need at least one thread");
+  const std::uint32_t t = std::min(options_.threads, options_.max_cores);
+  // t cores, each slowed by contention from its siblings.
+  effective_threads_ =
+      static_cast<double>(t) /
+      (1.0 + options_.contention_per_thread * static_cast<double>(t - 1));
+}
+
+double SmpEngine::round_seconds(std::uint64_t work_units) const {
+  return options_.cost_model.comp_seconds(work_units) / effective_threads_ +
+         options_.cost_model.latency_seconds();
+}
+
+SmpResult SmpEngine::connected_components(const Graph& graph) const {
+  SmpResult result;
+  result.values.resize(graph.num_vertices());
+  std::iota(result.values.begin(), result.values.end(), 0.0);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Symmetric label propagation sweep over the edge list.
+    for (const Edge& e : graph.edges()) {
+      const double lo = std::min(result.values[e.src], result.values[e.dst]);
+      if (result.values[e.src] > lo) {
+        result.values[e.src] = lo;
+        changed = true;
+      }
+      if (result.values[e.dst] > lo) {
+        result.values[e.dst] = lo;
+        changed = true;
+      }
+    }
+    ++result.rounds;
+    result.execution_seconds += round_seconds(graph.num_edges());
+  }
+  return result;
+}
+
+SmpResult SmpEngine::sssp(const Graph& graph, VertexId source) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  SmpResult result;
+  result.values.assign(graph.num_vertices(), kInf);
+  if (source >= graph.num_vertices()) return result;
+  const CsrGraph out = CsrGraph::build(graph, CsrGraph::Direction::kOut);
+
+  result.values[source] = 0.0;
+  std::vector<VertexId> frontier{source};
+  std::vector<std::uint8_t> in_next(graph.num_vertices(), 0);
+  while (!frontier.empty()) {
+    std::vector<VertexId> next;
+    std::uint64_t work = frontier.size();
+    for (const VertexId v : frontier) {
+      const auto neighbors = out.neighbors(v);
+      const auto edge_ids = out.edge_ids(v);
+      work += neighbors.size();
+      for (std::size_t k = 0; k < neighbors.size(); ++k) {
+        const double candidate =
+            result.values[v] + graph.weight(edge_ids[k]);
+        const VertexId w = neighbors[k];
+        if (candidate < result.values[w]) {
+          result.values[w] = candidate;
+          if (in_next[w] == 0) {
+            in_next[w] = 1;
+            next.push_back(w);
+          }
+        }
+      }
+    }
+    for (const VertexId w : next) in_next[w] = 0;
+    frontier = std::move(next);
+    ++result.rounds;
+    result.execution_seconds += round_seconds(work);
+  }
+  return result;
+}
+
+SmpResult SmpEngine::pagerank(const Graph& graph, std::uint32_t iterations,
+                              double damping) const {
+  const VertexId n = graph.num_vertices();
+  SmpResult result;
+  result.values.assign(n, n == 0 ? 0.0 : 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), (1.0 - damping) / n);
+    for (const Edge& e : graph.edges()) {
+      next[e.dst] += damping * result.values[e.src] / graph.out_degree(e.src);
+    }
+    result.values.swap(next);
+    ++result.rounds;
+    result.execution_seconds += round_seconds(graph.num_edges() + n);
+  }
+  return result;
+}
+
+}  // namespace ebv::engines

@@ -1,0 +1,55 @@
+// Galois-like shared-memory vertex-centric comparator (DESIGN.md §4).
+//
+// Models a single multi-core machine running round-based parallel graph
+// kernels with zero replication and no network: per round, the work is
+// divided over `threads` cores (capped at one simulated node's core count,
+// which is what limits Galois on the paper's largest graphs), with a small
+// contention factor and a per-round synchronisation latency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bsp/cost_model.h"
+#include "graph/graph.h"
+
+namespace ebv::engines {
+
+struct SmpResult {
+  double execution_seconds = 0.0;
+  std::uint32_t rounds = 0;
+  std::vector<double> values;
+};
+
+class SmpEngine {
+ public:
+  struct Options {
+    std::uint32_t threads = 8;
+    /// Cores available on one simulated node; requests beyond this cap are
+    /// clamped (a shared-memory system cannot leave its node).
+    std::uint32_t max_cores = 8;
+    /// Per-extra-thread memory-bandwidth contention (fractional slowdown).
+    double contention_per_thread = 0.04;
+    bsp::ClusterCostModel cost_model;
+  };
+
+  SmpEngine() : SmpEngine(Options()) {}
+  explicit SmpEngine(Options options);
+
+  /// Label-propagation connected components (rounds until fixpoint).
+  SmpResult connected_components(const Graph& graph) const;
+
+  /// Bellman-Ford-style SSSP with a round-based frontier.
+  SmpResult sssp(const Graph& graph, VertexId source) const;
+
+  /// Power-iteration PageRank, `iterations` rounds.
+  SmpResult pagerank(const Graph& graph, std::uint32_t iterations,
+                     double damping = 0.85) const;
+
+ private:
+  [[nodiscard]] double round_seconds(std::uint64_t work_units) const;
+  Options options_;
+  double effective_threads_;
+};
+
+}  // namespace ebv::engines

@@ -1,0 +1,181 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "graph/csr.h"
+
+namespace ebv {
+namespace {
+
+/// Deduplicated undirected adjacency (sorted neighbour lists, self-loops
+/// and parallel/reverse duplicates removed).
+std::vector<std::vector<VertexId>> simple_adjacency(const Graph& graph) {
+  const CsrGraph both = CsrGraph::build(graph, CsrGraph::Direction::kBoth);
+  std::vector<std::vector<VertexId>> adj(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto neighbors = both.neighbors(v);
+    adj[v].assign(neighbors.begin(), neighbors.end());
+    std::sort(adj[v].begin(), adj[v].end());
+    adj[v].erase(std::unique(adj[v].begin(), adj[v].end()), adj[v].end());
+    adj[v].erase(std::remove(adj[v].begin(), adj[v].end(), v), adj[v].end());
+  }
+  return adj;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> core_decomposition(const Graph& graph) {
+  const auto adj = simple_adjacency(graph);
+  const VertexId n = graph.num_vertices();
+  std::vector<std::uint32_t> degree(n);
+  std::uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = static_cast<std::uint32_t>(adj[v].size());
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // Bucket sort vertices by degree (Matula–Beck).
+  std::vector<std::uint32_t> bin(max_degree + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bin[degree[v]];
+  std::uint32_t start = 0;
+  for (std::uint32_t d = 0; d <= max_degree; ++d) {
+    const std::uint32_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<VertexId> order(n);       // vertices sorted by current degree
+  std::vector<std::uint32_t> pos(n);    // position of each vertex in order
+  {
+    std::vector<std::uint32_t> cursor(bin.begin(), bin.end());
+    for (VertexId v = 0; v < n; ++v) {
+      pos[v] = cursor[degree[v]];
+      order[pos[v]] = v;
+      ++cursor[degree[v]];
+    }
+  }
+
+  std::vector<std::uint32_t> core(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const VertexId v = order[i];
+    core[v] = degree[v];
+    for (const VertexId u : adj[v]) {
+      if (degree[u] <= degree[v]) continue;
+      // Swap u toward the front of its degree bucket, then shrink it.
+      const std::uint32_t du = degree[u];
+      const std::uint32_t pu = pos[u];
+      const std::uint32_t pw = bin[du];
+      const VertexId w = order[pw];
+      if (u != w) {
+        std::swap(order[pu], order[pw]);
+        pos[u] = pw;
+        pos[w] = pu;
+      }
+      ++bin[du];
+      --degree[u];
+    }
+  }
+  return core;
+}
+
+std::vector<std::uint64_t> triangle_counts(const Graph& graph) {
+  const auto adj = simple_adjacency(graph);
+  const VertexId n = graph.num_vertices();
+  std::vector<std::uint64_t> triangles(n, 0);
+  // Forward algorithm: orient edges from lower to higher degree (ties by
+  // id) and intersect out-neighbourhoods.
+  auto rank_less = [&](VertexId a, VertexId b) {
+    if (adj[a].size() != adj[b].size()) return adj[a].size() < adj[b].size();
+    return a < b;
+  };
+  std::vector<std::vector<VertexId>> forward(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const VertexId u : adj[v]) {
+      if (rank_less(v, u)) forward[v].push_back(u);
+    }
+    std::sort(forward[v].begin(), forward[v].end());
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    for (const VertexId u : forward[v]) {
+      // Intersect forward[v] and forward[u].
+      auto it_v = forward[v].begin();
+      auto it_u = forward[u].begin();
+      while (it_v != forward[v].end() && it_u != forward[u].end()) {
+        if (*it_v < *it_u) {
+          ++it_v;
+        } else if (*it_u < *it_v) {
+          ++it_u;
+        } else {
+          ++triangles[v];
+          ++triangles[u];
+          ++triangles[*it_v];
+          ++it_v;
+          ++it_u;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+std::uint64_t total_triangles(const Graph& graph) {
+  const auto per_vertex = triangle_counts(graph);
+  const std::uint64_t corners =
+      std::accumulate(per_vertex.begin(), per_vertex.end(), std::uint64_t{0});
+  return corners / 3;
+}
+
+double global_clustering_coefficient(const Graph& graph) {
+  const auto adj = simple_adjacency(graph);
+  std::uint64_t wedges = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const std::uint64_t d = adj[v].size();
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(total_triangles(graph)) /
+         static_cast<double>(wedges);
+}
+
+std::uint32_t estimate_diameter(const Graph& graph, std::uint32_t samples,
+                                std::uint64_t seed) {
+  EBV_REQUIRE(samples >= 1, "need at least one BFS sample");
+  if (graph.num_vertices() == 0) return 0;
+  const CsrGraph both = CsrGraph::build(graph, CsrGraph::Direction::kBoth);
+  Rng rng(derive_seed(seed, 0xD1));
+
+  std::uint32_t best = 0;
+  VertexId start = static_cast<VertexId>(bounded(rng, graph.num_vertices()));
+  for (std::uint32_t s = 0; s < samples; ++s) {
+    std::vector<std::uint32_t> dist(graph.num_vertices(),
+                                    std::numeric_limits<std::uint32_t>::max());
+    std::queue<VertexId> q;
+    dist[start] = 0;
+    q.push(start);
+    VertexId farthest = start;
+    while (!q.empty()) {
+      const VertexId v = q.front();
+      q.pop();
+      if (dist[v] > dist[farthest]) farthest = v;
+      for (const VertexId w : both.neighbors(v)) {
+        if (dist[w] == std::numeric_limits<std::uint32_t>::max()) {
+          dist[w] = dist[v] + 1;
+          q.push(w);
+        }
+      }
+    }
+    best = std::max(best, dist[farthest]);
+    // Double-sweep: restart from the farthest vertex found; alternate
+    // with fresh random starts to escape small components.
+    start = (s % 2 == 0) ? farthest
+                         : static_cast<VertexId>(
+                               bounded(rng, graph.num_vertices()));
+  }
+  return best;
+}
+
+}  // namespace ebv

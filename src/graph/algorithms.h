@@ -1,0 +1,34 @@
+// Sequential graph analytics used for dataset characterisation and as
+// additional workload references: k-core decomposition, triangle
+// counting, clustering coefficient and a sampled diameter estimate.
+// All treat the graph as undirected (symmetrised adjacency).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ebv {
+
+/// Core number of every vertex (Matula–Beck peeling, O(E)).
+/// core[v] = largest k such that v belongs to the k-core.
+std::vector<std::uint32_t> core_decomposition(const Graph& graph);
+
+/// Number of triangles through each vertex (each triangle counted once
+/// per corner). Parallel edges and directions are collapsed first.
+std::vector<std::uint64_t> triangle_counts(const Graph& graph);
+
+/// Total triangle count (each triangle counted once).
+std::uint64_t total_triangles(const Graph& graph);
+
+/// Global clustering coefficient: 3·triangles / open-or-closed wedges.
+/// Returns 0 for graphs without wedges.
+double global_clustering_coefficient(const Graph& graph);
+
+/// Lower-bound diameter estimate: the largest BFS eccentricity over
+/// `samples` seeded start vertices (standard double-sweep flavour).
+std::uint32_t estimate_diameter(const Graph& graph, std::uint32_t samples,
+                                std::uint64_t seed);
+
+}  // namespace ebv

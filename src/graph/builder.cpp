@@ -1,0 +1,76 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace ebv {
+
+void GraphBuilder::add_edge(std::uint64_t src, std::uint64_t dst,
+                            float weight) {
+  if (options_.remove_self_loops && src == dst) return;
+  if (weight != 1.0f) any_weighted_ = true;
+  edges_.push_back({src, dst, weight});
+}
+
+Graph GraphBuilder::build(VertexId min_vertices) {
+  original_ids_.clear();
+
+  if (options_.compact_ids) {
+    std::unordered_map<std::uint64_t, VertexId> remap;
+    remap.reserve(edges_.size() * 2);
+    auto dense = [&](std::uint64_t external) {
+      auto [it, inserted] =
+          remap.try_emplace(external, static_cast<VertexId>(remap.size()));
+      if (inserted) original_ids_.push_back(external);
+      return it->second;
+    };
+    for (RawEdge& e : edges_) {
+      e.src = dense(e.src);
+      e.dst = dense(e.dst);
+    }
+  }
+
+  if (options_.make_undirected) {
+    const std::size_t n = edges_.size();
+    edges_.reserve(n * 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      edges_.push_back({edges_[i].dst, edges_[i].src, edges_[i].weight});
+    }
+  }
+
+  if (options_.deduplicate) {
+    std::sort(edges_.begin(), edges_.end(),
+              [](const RawEdge& a, const RawEdge& b) {
+                return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+              });
+    edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                             [](const RawEdge& a, const RawEdge& b) {
+                               return a.src == b.src && a.dst == b.dst;
+                             }),
+                 edges_.end());
+  }
+
+  std::uint64_t max_id = 0;
+  for (const RawEdge& e : edges_) {
+    max_id = std::max({max_id, e.src, e.dst});
+  }
+  EBV_REQUIRE(edges_.empty() || max_id < kInvalidVertex,
+              "vertex id exceeds 32-bit dense id space; enable compact_ids");
+  const VertexId n = std::max<VertexId>(
+      min_vertices, edges_.empty() ? 0 : static_cast<VertexId>(max_id + 1));
+
+  std::vector<Edge> out;
+  out.reserve(edges_.size());
+  std::vector<float> weights;
+  if (any_weighted_) weights.reserve(edges_.size());
+  for (const RawEdge& e : edges_) {
+    out.push_back({static_cast<VertexId>(e.src), static_cast<VertexId>(e.dst)});
+    if (any_weighted_) weights.push_back(e.weight);
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return Graph(n, std::move(out), std::move(weights));
+}
+
+}  // namespace ebv

@@ -1,0 +1,55 @@
+// Incremental graph construction with the clean-up passes real edge-list
+// inputs need: self-loop removal, duplicate elimination, symmetrisation,
+// and id compaction for sparse external id spaces.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ebv {
+
+class GraphBuilder {
+ public:
+  struct Options {
+    bool remove_self_loops = true;
+    bool deduplicate = false;       // drop exact (src,dst) duplicates
+    bool make_undirected = false;   // add the reverse of every edge
+    bool compact_ids = false;       // relabel arbitrary u64 ids to dense u32
+  };
+
+  GraphBuilder() : GraphBuilder(Options()) {}
+  explicit GraphBuilder(Options options) : options_(options) {}
+
+  /// Add one edge using external (possibly sparse) vertex ids.
+  void add_edge(std::uint64_t src, std::uint64_t dst, float weight = 1.0f);
+
+  /// Number of edges accepted so far (before dedup/symmetrisation).
+  [[nodiscard]] std::size_t pending_edges() const { return edges_.size(); }
+
+  /// Finalise into an immutable Graph. The builder is left empty.
+  /// Without compact_ids, external ids must already be dense u32; the
+  /// vertex count is max id + 1 (or `min_vertices` if larger).
+  Graph build(VertexId min_vertices = 0);
+
+  /// After build() with compact_ids: dense id -> original external id.
+  [[nodiscard]] const std::vector<std::uint64_t>& original_ids() const {
+    return original_ids_;
+  }
+
+ private:
+  struct RawEdge {
+    std::uint64_t src;
+    std::uint64_t dst;
+    float weight;
+  };
+
+  Options options_;
+  std::vector<RawEdge> edges_;
+  bool any_weighted_ = false;
+  std::vector<std::uint64_t> original_ids_;
+};
+
+}  // namespace ebv

@@ -1,0 +1,56 @@
+#include "graph/csr.h"
+
+#include "common/assert.h"
+#include "graph/graph.h"
+
+namespace ebv {
+
+CsrGraph CsrGraph::build(const Graph& graph, Direction direction) {
+  return build(graph.num_vertices(), graph.edges(), direction);
+}
+
+CsrGraph CsrGraph::build(VertexId num_vertices, std::span<const Edge> edges,
+                         Direction direction) {
+  CsrGraph csr;
+  csr.offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+
+  auto count = [&](VertexId v) { ++csr.offsets_[v + 1]; };
+  for (const Edge& e : edges) {
+    EBV_REQUIRE(e.src < num_vertices && e.dst < num_vertices,
+                "edge endpoint out of range in CSR build");
+    switch (direction) {
+      case Direction::kOut: count(e.src); break;
+      case Direction::kIn: count(e.dst); break;
+      case Direction::kBoth:
+        count(e.src);
+        count(e.dst);
+        break;
+    }
+  }
+  for (std::size_t v = 1; v < csr.offsets_.size(); ++v) {
+    csr.offsets_[v] += csr.offsets_[v - 1];
+  }
+
+  csr.neighbors_.resize(csr.offsets_.back());
+  csr.edge_ids_.resize(csr.offsets_.back());
+  std::vector<EdgeId> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
+  auto place = [&](VertexId from, VertexId to, EdgeId id) {
+    const EdgeId slot = cursor[from]++;
+    csr.neighbors_[slot] = to;
+    csr.edge_ids_[slot] = id;
+  };
+  for (EdgeId id = 0; id < edges.size(); ++id) {
+    const Edge& e = edges[id];
+    switch (direction) {
+      case Direction::kOut: place(e.src, e.dst, id); break;
+      case Direction::kIn: place(e.dst, e.src, id); break;
+      case Direction::kBoth:
+        place(e.src, e.dst, id);
+        place(e.dst, e.src, id);
+        break;
+    }
+  }
+  return csr;
+}
+
+}  // namespace ebv

@@ -1,0 +1,257 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace ebv::gen {
+namespace {
+
+/// Pack an edge into one u64 for duplicate detection.
+std::uint64_t edge_key(VertexId u, VertexId v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+/// Sample an index from a cumulative weight table (binary search).
+VertexId sample_cdf(const std::vector<double>& cdf, Rng& rng) {
+  std::uniform_real_distribution<double> uni(0.0, cdf.back());
+  const double x = uni(rng);
+  const auto it = std::upper_bound(cdf.begin(), cdf.end(), x);
+  return static_cast<VertexId>(std::min<std::size_t>(
+      static_cast<std::size_t>(it - cdf.begin()), cdf.size() - 1));
+}
+
+}  // namespace
+
+Graph chung_lu(VertexId num_vertices, EdgeId num_edges, double exponent,
+               bool undirected, std::uint64_t seed) {
+  EBV_REQUIRE(num_vertices > 1, "chung_lu needs at least two vertices");
+  EBV_REQUIRE(exponent > 1.0, "power-law exponent must exceed 1");
+
+  // Expected-degree weights w_i ∝ (i+1)^(-1/(η-1)); truncate the head so no
+  // single vertex is expected to touch more than a quarter of all samples
+  // (keeps η < 2 inputs well-defined).
+  const double gamma = 1.0 / (exponent - 1.0);
+  std::vector<double> cdf(num_vertices);
+  double total = 0.0;
+  for (VertexId i = 0; i < num_vertices; ++i) {
+    total += std::pow(static_cast<double>(i) + 1.0, -gamma);
+    cdf[i] = total;
+  }
+  const double cap = cdf.back() / 4.0;
+  if (cdf[0] > cap) {
+    // Re-accumulate with per-vertex weights clamped to `cap`.
+    double run = 0.0;
+    double prev = 0.0;
+    for (VertexId i = 0; i < num_vertices; ++i) {
+      const double w = std::min(cdf[i] - prev, cap);
+      prev = cdf[i];
+      run += w;
+      cdf[i] = run;
+    }
+  }
+
+  Rng rng(derive_seed(seed, 0xC1));
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  const EdgeId target = undirected ? num_edges / 2 : num_edges;
+  EdgeId attempts = 0;
+  const EdgeId max_attempts = target * 20 + 1000;
+  while (edges.size() < (undirected ? target * 2 : target) &&
+         attempts < max_attempts) {
+    ++attempts;
+    const VertexId u = sample_cdf(cdf, rng);
+    const VertexId v = sample_cdf(cdf, rng);
+    if (u == v) continue;
+    const auto [a, b] = std::minmax(u, v);
+    if (!seen.insert(edge_key(a, b)).second) continue;
+    edges.push_back({u, v});
+    if (undirected) edges.push_back({v, u});
+  }
+  Graph g(num_vertices, std::move(edges));
+  g.set_name("chung_lu");
+  return g;
+}
+
+Graph rmat(VertexId num_vertices_pow2, EdgeId num_edges, double a, double b,
+           double c, std::uint64_t seed) {
+  EBV_REQUIRE(num_vertices_pow2 > 1 &&
+                  (num_vertices_pow2 & (num_vertices_pow2 - 1)) == 0,
+              "rmat vertex count must be a power of two");
+  EBV_REQUIRE(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0,
+              "rmat probabilities must satisfy a+b+c < 1");
+  int levels = 0;
+  while ((VertexId{1} << levels) < num_vertices_pow2) ++levels;
+
+  Rng rng(derive_seed(seed, 0x52));
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  EdgeId attempts = 0;
+  const EdgeId max_attempts = num_edges * 20 + 1000;
+  while (edges.size() < num_edges && attempts < max_attempts) {
+    ++attempts;
+    VertexId u = 0;
+    VertexId v = 0;
+    for (int level = 0; level < levels; ++level) {
+      const double r = uni(rng);
+      const VertexId bit = VertexId{1} << (levels - 1 - level);
+      if (r < a) {
+        // upper-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= bit;
+      } else if (r < a + b + c) {
+        u |= bit;
+      } else {
+        u |= bit;
+        v |= bit;
+      }
+    }
+    if (u == v) continue;
+    if (!seen.insert(edge_key(u, v)).second) continue;
+    edges.push_back({u, v});
+  }
+  Graph g(num_vertices_pow2, std::move(edges));
+  g.set_name("rmat");
+  return g;
+}
+
+Graph barabasi_albert(VertexId num_vertices, std::uint32_t edges_per_vertex,
+                      std::uint64_t seed) {
+  EBV_REQUIRE(edges_per_vertex >= 1, "need at least one edge per vertex");
+  EBV_REQUIRE(num_vertices > edges_per_vertex,
+              "vertex count must exceed edges_per_vertex");
+
+  Rng rng(derive_seed(seed, 0xBA));
+  // `targets` holds one entry per edge endpoint; sampling uniformly from it
+  // realises preferential attachment.
+  std::vector<VertexId> endpoint_pool;
+  endpoint_pool.reserve(static_cast<std::size_t>(num_vertices) *
+                        edges_per_vertex * 2);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(num_vertices) * edges_per_vertex * 2);
+
+  // Seed clique over the first m+1 vertices.
+  for (VertexId u = 0; u <= edges_per_vertex; ++u) {
+    for (VertexId v = u + 1; v <= edges_per_vertex; ++v) {
+      edges.push_back({u, v});
+      edges.push_back({v, u});
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  for (VertexId u = edges_per_vertex + 1; u < num_vertices; ++u) {
+    std::unordered_set<VertexId> picked;
+    while (picked.size() < edges_per_vertex) {
+      const VertexId v =
+          endpoint_pool[bounded(rng, endpoint_pool.size())];
+      if (v == u) continue;
+      picked.insert(v);
+    }
+    for (VertexId v : picked) {
+      edges.push_back({u, v});
+      edges.push_back({v, u});
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  Graph g(num_vertices, std::move(edges));
+  g.set_name("barabasi_albert");
+  return g;
+}
+
+Graph erdos_renyi(VertexId num_vertices, EdgeId num_edges,
+                  std::uint64_t seed) {
+  EBV_REQUIRE(num_vertices > 1, "erdos_renyi needs at least two vertices");
+  Rng rng(derive_seed(seed, 0xE6));
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  EdgeId attempts = 0;
+  const EdgeId max_attempts = num_edges * 20 + 1000;
+  while (edges.size() < num_edges && attempts < max_attempts) {
+    ++attempts;
+    const VertexId u = static_cast<VertexId>(bounded(rng, num_vertices));
+    const VertexId v = static_cast<VertexId>(bounded(rng, num_vertices));
+    if (u == v) continue;
+    if (!seen.insert(edge_key(u, v)).second) continue;
+    edges.push_back({u, v});
+  }
+  Graph g(num_vertices, std::move(edges));
+  g.set_name("erdos_renyi");
+  return g;
+}
+
+Graph road_grid(std::uint32_t width, std::uint32_t height,
+                double keep_probability, std::uint64_t seed) {
+  EBV_REQUIRE(width >= 2 && height >= 2, "grid must be at least 2x2");
+  EBV_REQUIRE(keep_probability > 0.0 && keep_probability <= 1.0,
+              "keep_probability must be in (0, 1]");
+  Rng rng(derive_seed(seed, 0x6D));
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::uniform_real_distribution<float> wdist(1.0f, 10.0f);
+
+  const VertexId n = width * height;
+  auto id = [width](std::uint32_t x, std::uint32_t y) {
+    return static_cast<VertexId>(y * width + x);
+  };
+  std::vector<Edge> edges;
+  std::vector<float> weights;
+  auto add_undirected = [&](VertexId u, VertexId v, float w) {
+    edges.push_back({u, v});
+    weights.push_back(w);
+    edges.push_back({v, u});
+    weights.push_back(w);
+  };
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      if (x + 1 < width && uni(rng) < keep_probability) {
+        add_undirected(id(x, y), id(x + 1, y), wdist(rng));
+      }
+      if (y + 1 < height && uni(rng) < keep_probability) {
+        add_undirected(id(x, y), id(x, y + 1), wdist(rng));
+      }
+    }
+  }
+  // Sparse "highway ramps": one diagonal per ~200 cells keeps the graph
+  // road-like (degree ≤ ~5) while breaking pure-grid symmetry.
+  const std::uint64_t ramps = static_cast<std::uint64_t>(n) / 200;
+  for (std::uint64_t i = 0; i < ramps; ++i) {
+    const std::uint32_t x = static_cast<std::uint32_t>(bounded(rng, width - 1));
+    const std::uint32_t y =
+        static_cast<std::uint32_t>(bounded(rng, height - 1));
+    add_undirected(id(x, y), id(x + 1, y + 1), wdist(rng));
+  }
+  Graph g(n, std::move(edges), std::move(weights));
+  g.set_name("road_grid");
+  return g;
+}
+
+Graph figure1_graph() {
+  // A=0 B=1 C=2 D=3 E=4 F=5, stored in *alphabetical* edge order — the
+  // paper's right-hand panel. EdgeOrder::kNatural therefore reproduces
+  // the "alphabetical order" processing and kSortedAscending the
+  // "sorting preprocessing" panel.
+  std::vector<Edge> edges = {
+      {0, 1},  // (A,B)
+      {0, 2},  // (A,C)
+      {0, 5},  // (A,F)
+      {1, 2},  // (B,C)
+      {3, 4},  // (D,E)
+      {4, 5},  // (E,F)
+  };
+  Graph g(6, std::move(edges));
+  g.set_name("figure1");
+  return g;
+}
+
+}  // namespace ebv::gen

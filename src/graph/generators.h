@@ -1,0 +1,53 @@
+// Synthetic graph generators.
+//
+// These are the substitutes for the paper's SNAP datasets (USARoad,
+// LiveJournal, Twitter, Friendster), which are not redistributable inside
+// this repository. Each generator is deterministic under a fixed seed and
+// reproduces the property the partitioners actually respond to: the degree
+// distribution (power-law exponent η) and the graph class (mesh-like road
+// network vs. skewed social network). See DESIGN.md §4.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace ebv::gen {
+
+/// Chung-Lu power-law graph. Vertex i receives an expected-degree weight
+/// w_i ∝ (i + 1)^(-1/(exponent-1)); `num_edges` endpoint pairs are sampled
+/// proportionally to the weights. Self-loops are rejected and duplicates
+/// removed, so the realised edge count is slightly below `num_edges`.
+/// With `undirected`, both directions of every sampled pair are emitted
+/// (counting toward `num_edges`).
+Graph chung_lu(VertexId num_vertices, EdgeId num_edges, double exponent,
+               bool undirected, std::uint64_t seed);
+
+/// R-MAT recursive-matrix generator (Graph500 parameters by default);
+/// produces skewed in/out degrees with power-law-like tails.
+Graph rmat(VertexId num_vertices_pow2, EdgeId num_edges, double a, double b,
+           double c, std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches
+/// `edges_per_vertex` undirected edges to existing vertices chosen
+/// proportionally to degree. Produces η ≈ 3.
+Graph barabasi_albert(VertexId num_vertices, std::uint32_t edges_per_vertex,
+                      std::uint64_t seed);
+
+/// Erdős–Rényi G(n, m): uniform random directed edges (no self-loops).
+Graph erdos_renyi(VertexId num_vertices, EdgeId num_edges, std::uint64_t seed);
+
+/// Road-network stand-in: a width×height 4-neighbour grid with
+/// `keep_probability` of each grid edge retained, a sprinkling of diagonal
+/// "ramp" edges, and random weights in [1, 10] for SSSP. Undirected (both
+/// directions emitted); average total degree ≈ 2·2.4 like USARoad.
+Graph road_grid(std::uint32_t width, std::uint32_t height,
+                double keep_probability, std::uint64_t seed);
+
+/// The 6-vertex example of the paper's Figure 1 (A..F = 0..5), used by the
+/// edge-order demo and by unit tests. Undirected edges, single direction,
+/// stored alphabetically: (A,B) (A,C) (A,F) (B,C) (D,E) (E,F) — so the
+/// natural order replays the paper's "alphabetical order" panel.
+Graph figure1_graph();
+
+}  // namespace ebv::gen

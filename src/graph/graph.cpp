@@ -1,0 +1,22 @@
+#include "graph/graph.h"
+
+namespace ebv {
+
+Graph::Graph(VertexId num_vertices, std::vector<Edge> edges,
+             std::vector<float> weights)
+    : num_vertices_(num_vertices),
+      edges_(std::move(edges)),
+      weights_(std::move(weights)) {
+  EBV_REQUIRE(weights_.empty() || weights_.size() == edges_.size(),
+              "weight array must be empty or match the edge count");
+  out_degree_.assign(num_vertices_, 0);
+  in_degree_.assign(num_vertices_, 0);
+  for (const Edge& e : edges_) {
+    EBV_REQUIRE(e.src < num_vertices_ && e.dst < num_vertices_,
+                "edge endpoint out of range");
+    ++out_degree_[e.src];
+    ++in_degree_[e.dst];
+  }
+}
+
+}  // namespace ebv

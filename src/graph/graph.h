@@ -1,0 +1,80 @@
+// Immutable edge-list graph: the input representation for every partitioner
+// and for distributed-graph construction.
+//
+// Graphs are directed; undirected inputs are represented by materialising
+// both directions (paper §III-C). Optional per-edge weights support SSSP.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace ebv {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Takes ownership of an edge list over vertex ids in
+  /// [0, num_vertices). Degree arrays are computed eagerly.
+  /// Throws std::invalid_argument if any endpoint is out of range or if
+  /// `weights` is non-empty and does not match `edges.size()`.
+  Graph(VertexId num_vertices, std::vector<Edge> edges,
+        std::vector<float> weights = {});
+
+  [[nodiscard]] VertexId num_vertices() const { return num_vertices_; }
+  [[nodiscard]] EdgeId num_edges() const { return edges_.size(); }
+  [[nodiscard]] bool empty() const { return edges_.empty(); }
+
+  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[e]; }
+
+  [[nodiscard]] bool has_weights() const { return !weights_.empty(); }
+  /// Weight of edge e; 1.0 when the graph is unweighted.
+  [[nodiscard]] float weight(EdgeId e) const {
+    return weights_.empty() ? 1.0f : weights_[e];
+  }
+  [[nodiscard]] std::span<const float> weights() const { return weights_; }
+
+  [[nodiscard]] std::uint32_t out_degree(VertexId v) const {
+    return out_degree_[v];
+  }
+  [[nodiscard]] std::uint32_t in_degree(VertexId v) const {
+    return in_degree_[v];
+  }
+  /// Total degree = in + out; the quantity used by the EBV sort key and by
+  /// degree-based partitioners (DBH, Ginger, HDRF).
+  [[nodiscard]] std::uint32_t degree(VertexId v) const {
+    return out_degree_[v] + in_degree_[v];
+  }
+  [[nodiscard]] std::span<const std::uint32_t> out_degrees() const {
+    return out_degree_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> in_degrees() const {
+    return in_degree_;
+  }
+
+  [[nodiscard]] double average_degree() const {
+    return num_vertices_ == 0
+               ? 0.0
+               : static_cast<double>(num_edges()) / num_vertices_;
+  }
+
+  /// Optional display name carried through generators / IO for reporting.
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<float> weights_;
+  std::vector<std::uint32_t> out_degree_;
+  std::vector<std::uint32_t> in_degree_;
+  std::string name_;
+};
+
+}  // namespace ebv

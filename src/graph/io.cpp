@@ -1,0 +1,149 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace ebv::io {
+namespace {
+
+constexpr char kMagic[4] = {'E', 'B', 'V', 'G'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw std::runtime_error("EBVG: truncated input");
+  return value;
+}
+
+std::ifstream open_input(const std::string& path, std::ios::openmode mode) {
+  std::ifstream in(path, mode);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return in;
+}
+
+std::ofstream open_output(const std::string& path, std::ios::openmode mode) {
+  std::ofstream out(path, mode);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  return out;
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in, GraphBuilder::Options options) {
+  GraphBuilder builder(options);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    if (!(fields >> src >> dst)) {
+      throw std::runtime_error("edge list: malformed line " +
+                               std::to_string(line_no) + ": '" + line + "'");
+    }
+    float weight = 1.0f;
+    fields >> weight;  // optional third column
+    builder.add_edge(src, dst, weight);
+  }
+  return builder.build();
+}
+
+Graph read_edge_list_file(const std::string& path,
+                          GraphBuilder::Options options) {
+  auto in = open_input(path, std::ios::in);
+  return read_edge_list(in, options);
+}
+
+void write_edge_list(std::ostream& out, const Graph& graph) {
+  out << "# ebv edge list: " << graph.num_vertices() << " vertices, "
+      << graph.num_edges() << " edges\n";
+  char weight_buf[32];
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    out << graph.edge(e).src << ' ' << graph.edge(e).dst;
+    if (graph.has_weights()) {
+      // max_digits10 for float: round-trips exactly through text.
+      std::snprintf(weight_buf, sizeof weight_buf, "%.9g", graph.weight(e));
+      out << ' ' << weight_buf;
+    }
+    out << '\n';
+  }
+}
+
+void write_edge_list_file(const std::string& path, const Graph& graph) {
+  auto out = open_output(path, std::ios::out);
+  write_edge_list(out, graph);
+}
+
+void write_binary(std::ostream& out, const Graph& graph) {
+  out.write(kMagic, sizeof kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint32_t>(graph.name().size()));
+  out.write(graph.name().data(),
+            static_cast<std::streamsize>(graph.name().size()));
+  write_pod(out, graph.num_vertices());
+  write_pod(out, graph.num_edges());
+  write_pod(out, static_cast<std::uint8_t>(graph.has_weights() ? 1 : 0));
+  out.write(reinterpret_cast<const char*>(graph.edges().data()),
+            static_cast<std::streamsize>(graph.num_edges() * sizeof(Edge)));
+  if (graph.has_weights()) {
+    out.write(reinterpret_cast<const char*>(graph.weights().data()),
+              static_cast<std::streamsize>(graph.num_edges() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("EBVG: write failed");
+}
+
+void write_binary_file(const std::string& path, const Graph& graph) {
+  auto out = open_output(path, std::ios::binary);
+  write_binary(out, graph);
+}
+
+Graph read_binary(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::string_view(magic, 4) != std::string_view(kMagic, 4)) {
+    throw std::runtime_error("EBVG: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("EBVG: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto name_len = read_pod<std::uint32_t>(in);
+  std::string name(name_len, '\0');
+  in.read(name.data(), name_len);
+  const auto num_vertices = read_pod<VertexId>(in);
+  const auto num_edges = read_pod<EdgeId>(in);
+  const auto weighted = read_pod<std::uint8_t>(in);
+
+  std::vector<Edge> edges(num_edges);
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(num_edges * sizeof(Edge)));
+  std::vector<float> weights;
+  if (weighted != 0) {
+    weights.resize(num_edges);
+    in.read(reinterpret_cast<char*>(weights.data()),
+            static_cast<std::streamsize>(num_edges * sizeof(float)));
+  }
+  if (!in) throw std::runtime_error("EBVG: truncated edge data");
+  Graph g(num_vertices, std::move(edges), std::move(weights));
+  g.set_name(name);
+  return g;
+}
+
+Graph read_binary_file(const std::string& path) {
+  auto in = open_input(path, std::ios::binary);
+  return read_binary(in);
+}
+
+}  // namespace ebv::io

@@ -1,0 +1,28 @@
+// Graph serialisation: a human-readable edge-list text format and a compact
+// binary format. Both round-trip exactly (including weights and names).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+
+namespace ebv::io {
+
+/// Text format: '#'-prefixed comment lines, then one "src dst [weight]" per
+/// line. Throws std::runtime_error on malformed input.
+Graph read_edge_list(std::istream& in, GraphBuilder::Options options = {});
+Graph read_edge_list_file(const std::string& path,
+                          GraphBuilder::Options options = {});
+void write_edge_list(std::ostream& out, const Graph& graph);
+void write_edge_list_file(const std::string& path, const Graph& graph);
+
+/// Binary format: "EBVG" magic, u32 version, name, counts, raw edge and
+/// weight arrays. Throws std::runtime_error on magic/version/size mismatch.
+Graph read_binary(std::istream& in);
+Graph read_binary_file(const std::string& path);
+void write_binary(std::ostream& out, const Graph& graph);
+void write_binary_file(const std::string& path, const Graph& graph);
+
+}  // namespace ebv::io

@@ -1,0 +1,60 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace ebv {
+
+double estimate_power_law_exponent(const Graph& graph,
+                                   std::uint32_t min_degree) {
+  if (min_degree == 0) {
+    // Average total degree = 2|E|/|V|: fit the tail, not the Poisson bulk.
+    const double avg =
+        graph.num_vertices() == 0
+            ? 0.0
+            : 2.0 * static_cast<double>(graph.num_edges()) /
+                  graph.num_vertices();
+    min_degree = std::max<std::uint32_t>(2, static_cast<std::uint32_t>(avg));
+  }
+  double log_sum = 0.0;
+  std::uint64_t n = 0;
+  const double threshold = static_cast<double>(min_degree) - 0.5;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const std::uint32_t d = graph.degree(v);
+    if (d < min_degree) continue;
+    log_sum += std::log(static_cast<double>(d) / threshold);
+    ++n;
+  }
+  if (n == 0 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+std::vector<std::uint64_t> degree_histogram(const Graph& graph) {
+  std::uint32_t max_degree = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, graph.degree(v));
+  }
+  std::vector<std::uint64_t> histogram(max_degree + 1, 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    ++histogram[graph.degree(v)];
+  }
+  return histogram;
+}
+
+GraphStats compute_stats(const Graph& graph) {
+  GraphStats s;
+  s.num_vertices = graph.num_vertices();
+  s.num_edges = graph.num_edges();
+  s.average_degree = graph.average_degree();
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    s.max_out_degree = std::max(s.max_out_degree, graph.out_degree(v));
+    s.max_total_degree = std::max(s.max_total_degree, graph.degree(v));
+    if (graph.degree(v) == 0) ++s.isolated_vertices;
+  }
+  s.eta = estimate_power_law_exponent(graph);
+  return s;
+}
+
+}  // namespace ebv

@@ -1,0 +1,137 @@
+#include "graph/transforms.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace ebv {
+namespace {
+
+/// Component labels via union-find (local copy — the graph library cannot
+/// depend on the apps layer).
+std::vector<VertexId> component_labels(const Graph& graph) {
+  std::vector<VertexId> parent(graph.num_vertices());
+  std::iota(parent.begin(), parent.end(), VertexId{0});
+  auto find = [&](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const Edge& e : graph.edges()) {
+    const VertexId ra = find(e.src);
+    const VertexId rb = find(e.dst);
+    if (ra != rb) parent[std::max(ra, rb)] = std::min(ra, rb);
+  }
+  std::vector<VertexId> labels(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) labels[v] = find(v);
+  return labels;
+}
+
+}  // namespace
+
+Graph transpose(const Graph& graph) {
+  std::vector<Edge> edges;
+  edges.reserve(graph.num_edges());
+  for (const Edge& e : graph.edges()) edges.push_back({e.dst, e.src});
+  std::vector<float> weights(graph.weights().begin(), graph.weights().end());
+  Graph out(graph.num_vertices(), std::move(edges), std::move(weights));
+  out.set_name(graph.name());
+  return out;
+}
+
+Graph induced_subgraph(const Graph& graph,
+                       const std::vector<std::uint8_t>& keep_vertex,
+                       std::vector<VertexId>* old_ids) {
+  EBV_REQUIRE(keep_vertex.size() == graph.num_vertices(),
+              "keep mask must match the vertex count");
+  std::vector<VertexId> remap(graph.num_vertices(), kInvalidVertex);
+  VertexId next = 0;
+  std::vector<VertexId> originals;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (keep_vertex[v] != 0) {
+      remap[v] = next++;
+      originals.push_back(v);
+    }
+  }
+  std::vector<Edge> edges;
+  std::vector<float> weights;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge& edge = graph.edge(e);
+    if (remap[edge.src] == kInvalidVertex || remap[edge.dst] == kInvalidVertex) {
+      continue;
+    }
+    edges.push_back({remap[edge.src], remap[edge.dst]});
+    if (graph.has_weights()) weights.push_back(graph.weight(e));
+  }
+  if (old_ids != nullptr) *old_ids = std::move(originals);
+  Graph out(next, std::move(edges), std::move(weights));
+  out.set_name(graph.name());
+  return out;
+}
+
+Graph largest_component(const Graph& graph, std::vector<VertexId>* old_ids) {
+  if (graph.num_vertices() == 0) return Graph();
+  const std::vector<VertexId> labels = component_labels(graph);
+  std::vector<std::uint64_t> size(graph.num_vertices(), 0);
+  for (const VertexId label : labels) ++size[label];
+  const VertexId winner = static_cast<VertexId>(
+      std::max_element(size.begin(), size.end()) - size.begin());
+  std::vector<std::uint8_t> keep(graph.num_vertices(), 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    keep[v] = labels[v] == winner ? 1 : 0;
+  }
+  return induced_subgraph(graph, keep, old_ids);
+}
+
+Graph filter_by_degree(const Graph& graph, std::uint32_t min_degree,
+                       std::uint32_t max_degree,
+                       std::vector<VertexId>* old_ids) {
+  EBV_REQUIRE(min_degree <= max_degree, "empty degree interval");
+  std::vector<std::uint8_t> keep(graph.num_vertices(), 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const std::uint32_t d = graph.degree(v);
+    keep[v] = (d >= min_degree && d <= max_degree) ? 1 : 0;
+  }
+  return induced_subgraph(graph, keep, old_ids);
+}
+
+Graph relabel_by_degree(const Graph& graph, std::vector<VertexId>* old_ids) {
+  std::vector<VertexId> order(graph.num_vertices());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return graph.degree(a) > graph.degree(b);
+  });
+  std::vector<VertexId> new_id(graph.num_vertices());
+  for (VertexId rank = 0; rank < graph.num_vertices(); ++rank) {
+    new_id[order[rank]] = rank;
+  }
+  std::vector<Edge> edges;
+  edges.reserve(graph.num_edges());
+  for (const Edge& e : graph.edges()) {
+    edges.push_back({new_id[e.src], new_id[e.dst]});
+  }
+  std::vector<float> weights(graph.weights().begin(), graph.weights().end());
+  if (old_ids != nullptr) *old_ids = std::move(order);
+  Graph out(graph.num_vertices(), std::move(edges), std::move(weights));
+  out.set_name(graph.name());
+  return out;
+}
+
+Graph with_random_weights(const Graph& graph, float min_weight,
+                          float max_weight, std::uint64_t seed) {
+  EBV_REQUIRE(min_weight <= max_weight, "empty weight interval");
+  Rng rng(derive_seed(seed, 0x77));
+  std::uniform_real_distribution<float> dist(min_weight, max_weight);
+  std::vector<float> weights(graph.num_edges());
+  for (float& w : weights) w = dist(rng);
+  std::vector<Edge> edges(graph.edges().begin(), graph.edges().end());
+  Graph out(graph.num_vertices(), std::move(edges), std::move(weights));
+  out.set_name(graph.name());
+  return out;
+}
+
+}  // namespace ebv

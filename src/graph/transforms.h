@@ -1,0 +1,45 @@
+// Structural graph transformations. These are the preprocessing utilities
+// a partitioning pipeline needs in practice: extracting the giant
+// component before benchmarking, transposing for pull-based kernels,
+// relabelling to expose or destroy locality, and attaching weights.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ebv {
+
+/// Reverse every edge (weights follow their edges).
+Graph transpose(const Graph& graph);
+
+/// Subgraph induced by `keep_vertex` (indexed by vertex id). Vertices are
+/// relabelled densely in ascending original-id order; `old_ids` (optional
+/// out) receives new-id -> old-id.
+Graph induced_subgraph(const Graph& graph,
+                       const std::vector<std::uint8_t>& keep_vertex,
+                       std::vector<VertexId>* old_ids = nullptr);
+
+/// The largest weakly-connected component as an induced subgraph.
+Graph largest_component(const Graph& graph,
+                        std::vector<VertexId>* old_ids = nullptr);
+
+/// Drop every vertex with total degree outside [min_degree, max_degree]
+/// (and all incident edges), then compact ids.
+Graph filter_by_degree(const Graph& graph, std::uint32_t min_degree,
+                       std::uint32_t max_degree,
+                       std::vector<VertexId>* old_ids = nullptr);
+
+/// Relabel vertices by descending total degree (hubs get the lowest ids).
+/// Useful for cache studies and for stressing order-sensitive
+/// partitioners; `old_ids` receives new-id -> old-id.
+Graph relabel_by_degree(const Graph& graph,
+                        std::vector<VertexId>* old_ids = nullptr);
+
+/// Copy of `graph` with uniform random weights in [min_weight,
+/// max_weight] (seeded) — turns any generator output into an SSSP input.
+Graph with_random_weights(const Graph& graph, float min_weight,
+                          float max_weight, std::uint64_t seed);
+
+}  // namespace ebv

@@ -1,0 +1,36 @@
+#include "partition/cvc.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ebv {
+
+std::pair<PartitionId, PartitionId> CvcPartitioner::grid_shape(PartitionId p) {
+  PartitionId r = static_cast<PartitionId>(std::sqrt(static_cast<double>(p)));
+  while (r > 1 && p % r != 0) --r;
+  return {r, p / r};
+}
+
+EdgePartition CvcPartitioner::partition(const Graph& graph,
+                                        const PartitionConfig& config) const {
+  check_partition_config(graph, config);
+  const auto [rows, cols] = grid_shape(config.num_parts);
+  const std::uint64_t row_salt = derive_seed(config.seed, 0xC0);
+  const std::uint64_t col_salt = derive_seed(config.seed, 0xC1);
+
+  EdgePartition result;
+  result.num_parts = config.num_parts;
+  result.part_of_edge.resize(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const auto [u, v] = graph.edge(e);
+    const PartitionId row =
+        static_cast<PartitionId>(mix64(u ^ row_salt) % rows);
+    const PartitionId col =
+        static_cast<PartitionId>(mix64(v ^ col_salt) % cols);
+    result.part_of_edge[e] = row * cols + col;
+  }
+  return result;
+}
+
+}  // namespace ebv

@@ -1,0 +1,22 @@
+// Cartesian (2-D) Vertex-Cut (Boman et al., SC'13): workers form an r×c
+// grid with r·c = p; edge (u,v) goes to the worker at (row(u), col(v)).
+// Every vertex is then replicated across at most r + c - 1 workers.
+#pragma once
+
+#include <utility>
+
+#include "partition/partitioner.h"
+
+namespace ebv {
+
+class CvcPartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "cvc"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& graph, const PartitionConfig& config) const override;
+
+  /// Most-square factorisation r×c = p with r ≤ c (exposed for tests).
+  static std::pair<PartitionId, PartitionId> grid_shape(PartitionId p);
+};
+
+}  // namespace ebv

@@ -1,0 +1,29 @@
+#include "partition/dbh.h"
+
+#include "common/rng.h"
+
+namespace ebv {
+
+EdgePartition DbhPartitioner::partition(const Graph& graph,
+                                        const PartitionConfig& config) const {
+  check_partition_config(graph, config);
+  const std::uint64_t salt = derive_seed(config.seed, 0xDB);
+
+  EdgePartition result;
+  result.num_parts = config.num_parts;
+  result.part_of_edge.resize(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const auto [u, v] = graph.edge(e);
+    const std::uint32_t du = graph.degree(u);
+    const std::uint32_t dv = graph.degree(v);
+    // Hash the lower-degree endpoint; break degree ties toward the smaller
+    // id so the choice is symmetric and deterministic.
+    const VertexId pick =
+        du < dv ? u : (dv < du ? v : (u < v ? u : v));
+    result.part_of_edge[e] =
+        static_cast<PartitionId>(mix64(pick ^ salt) % config.num_parts);
+  }
+  return result;
+}
+
+}  // namespace ebv

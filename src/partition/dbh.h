@@ -1,0 +1,17 @@
+// Degree-Based Hashing (Xie et al., NeurIPS 2014): each edge is assigned by
+// hashing the id of its lower-degree endpoint, so high-degree (hub)
+// vertices are the ones that get cut — effective on power-law graphs.
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace ebv {
+
+class DbhPartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "dbh"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& graph, const PartitionConfig& config) const override;
+};
+
+}  // namespace ebv

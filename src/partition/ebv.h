@@ -1,0 +1,49 @@
+// EBV — the paper's contribution (Algorithm 1).
+//
+// Edges are visited in the configured order (default: ascending by the sum
+// of end-vertex degrees, §IV-C) and each edge (u,v) is assigned to the
+// subgraph i minimising
+//
+//   Eva(u,v)(i) = I(u ∉ keep[i]) + I(v ∉ keep[i])
+//               + α·ecount[i]/(|E|/p) + β·vcount[i]/(|V|/p)
+//
+// with lowest-index tie-breaking. The replication-factor growth trace
+// (Figure 5) can be recorded with partition_traced().
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace ebv {
+
+/// One sample of the Figure-5 growth curve.
+struct GrowthSample {
+  EdgeId edges_processed = 0;
+  double replication_factor = 0.0;  // Σ|Vi| / |V| over assigned-so-far
+};
+
+class EbvPartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "ebv"; }
+
+  [[nodiscard]] EdgePartition partition(
+      const Graph& graph, const PartitionConfig& config) const override;
+
+  /// As partition(), but additionally records `num_samples` evenly spaced
+  /// replication-factor samples into `trace` (cleared first).
+  EdgePartition partition_traced(const Graph& graph,
+                                 const PartitionConfig& config,
+                                 std::size_t num_samples,
+                                 std::vector<GrowthSample>& trace) const;
+
+  /// Theorem 1: worst-case upper bound of the edge imbalance factor.
+  static double edge_imbalance_bound(const Graph& graph,
+                                     const PartitionConfig& config);
+
+  /// Theorem 2: worst-case upper bound of the vertex imbalance factor.
+  /// `sum_vi` is Σ|Vj| from the realised partition.
+  static double vertex_imbalance_bound(const Graph& graph,
+                                       const PartitionConfig& config,
+                                       std::uint64_t sum_vi);
+};
+
+}  // namespace ebv

@@ -1,0 +1,37 @@
+// Distributed EBV — the paper's §VII future-work direction ("extend it to
+// the distributed environment to handle larger graphs"), simulated inside
+// one process.
+//
+// The sorted edge sequence is dealt round-robin to `num_shards`
+// partitioning workers. Every worker runs Algorithm 1 against a shared
+// *snapshot* of the global state (keep sets and counters) plus its own
+// uncommitted local additions; after every `sync_interval` assignments
+// per worker, all deltas are merged into the snapshot (one "partitioning
+// superstep"). With num_shards == 1 the algorithm is exactly offline EBV;
+// larger shard counts trade partition quality for p-way partitioning
+// parallelism, and the staleness is bounded by the sync interval.
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace ebv {
+
+class DistributedEbvPartitioner final : public Partitioner {
+ public:
+  explicit DistributedEbvPartitioner(std::uint32_t num_shards = 8,
+                                     std::uint64_t sync_interval = 1024)
+      : num_shards_(num_shards), sync_interval_(sync_interval) {}
+
+  [[nodiscard]] std::string name() const override { return "ebv-dist"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& graph, const PartitionConfig& config) const override;
+
+  [[nodiscard]] std::uint32_t num_shards() const { return num_shards_; }
+  [[nodiscard]] std::uint64_t sync_interval() const { return sync_interval_; }
+
+ private:
+  std::uint32_t num_shards_;
+  std::uint64_t sync_interval_;
+};
+
+}  // namespace ebv

@@ -1,0 +1,104 @@
+#include "partition/ebv_streaming.h"
+
+#include <limits>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace ebv {
+
+EdgePartition StreamingEbvPartitioner::partition(
+    const Graph& graph, const PartitionConfig& config) const {
+  check_partition_config(graph, config);
+  EBV_REQUIRE(window_ >= 1, "window must be at least 1");
+
+  const PartitionId p = config.num_parts;
+  const double edges_per_part =
+      static_cast<double>(std::max<EdgeId>(graph.num_edges(), 1)) / p;
+  const double vertices_per_part =
+      static_cast<double>(graph.num_vertices()) / p;
+
+  // keep[] bitmaps as in the offline algorithm.
+  std::vector<std::uint8_t> keep(
+      static_cast<std::size_t>(p) * graph.num_vertices(), 0);
+  auto kept = [&](PartitionId i, VertexId v) -> std::uint8_t& {
+    return keep[static_cast<std::size_t>(i) * graph.num_vertices() + v];
+  };
+  std::vector<std::uint64_t> ecount(p, 0);
+  std::vector<std::uint64_t> vcount(p, 0);
+
+  // Partial degrees: a streaming algorithm only knows what it has seen.
+  std::vector<std::uint32_t> partial_degree(graph.num_vertices(), 0);
+
+  EdgePartition result;
+  result.num_parts = p;
+  result.part_of_edge.assign(graph.num_edges(), kInvalidPartition);
+
+  // The bounded buffer is a lazy min-heap keyed by the partial-degree sum
+  // at insertion time. Partial degrees only grow, so a popped entry whose
+  // recomputed key exceeds the next heap key is simply re-pushed — each
+  // flush is O(log W) amortised.
+  using BufferEntry = std::pair<std::uint64_t, EdgeId>;  // (key, edge)
+  std::priority_queue<BufferEntry, std::vector<BufferEntry>, std::greater<>>
+      buffer;
+
+  auto assign = [&](EdgeId e) {
+    const auto [u, v] = graph.edge(e);
+    PartitionId best = 0;
+    double best_eva = std::numeric_limits<double>::infinity();
+    for (PartitionId i = 0; i < p; ++i) {
+      double eva = 0.0;
+      if (kept(i, u) == 0) eva += 1.0;
+      if (kept(i, v) == 0) eva += 1.0;
+      eva += config.alpha * static_cast<double>(ecount[i]) / edges_per_part;
+      eva += config.beta * static_cast<double>(vcount[i]) / vertices_per_part;
+      if (eva < best_eva) {
+        best_eva = eva;
+        best = i;
+      }
+    }
+    result.part_of_edge[e] = best;
+    ++ecount[best];
+    if (kept(best, u) == 0) {
+      kept(best, u) = 1;
+      ++vcount[best];
+    }
+    if (kept(best, v) == 0) {
+      kept(best, v) = 1;
+      ++vcount[best];
+    }
+  };
+
+  auto current_key = [&](EdgeId e) {
+    const auto [u, v] = graph.edge(e);
+    return static_cast<std::uint64_t>(partial_degree[u]) + partial_degree[v];
+  };
+  auto flush_smallest = [&] {
+    for (;;) {
+      const auto [key, e] = buffer.top();
+      buffer.pop();
+      const std::uint64_t now = current_key(e);
+      // Stale key that is no longer the minimum: re-queue and retry.
+      if (now > key && !buffer.empty() && now > buffer.top().first) {
+        buffer.push({now, e});
+        continue;
+      }
+      assign(e);
+      return;
+    }
+  };
+
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const auto [u, v] = graph.edge(e);
+    ++partial_degree[u];
+    ++partial_degree[v];
+    buffer.push({current_key(e), e});
+    if (buffer.size() >= window_) flush_smallest();
+  }
+  while (!buffer.empty()) flush_smallest();
+  return result;
+}
+
+}  // namespace ebv

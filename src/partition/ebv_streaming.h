@@ -1,0 +1,34 @@
+// Streaming EBV — the paper's §VII future-work direction, implemented as
+// an extension: a one-pass variant of Algorithm 1 that never materialises
+// the whole edge list or a global sort.
+//
+// The offline EBV sorts all edges by deg(u)+deg(v) ascending before
+// assignment. A streaming partitioner cannot sort globally, so this
+// variant keeps a bounded buffer of `window` pending edges (the ADWISE
+// idea) ordered by the *partial* degrees observed so far, and always
+// assigns the buffered edge with the smallest partial degree sum using the
+// same evaluation function as Algorithm 1. With window == 1 it degenerates
+// to natural-order streaming EBV; with window == |E| and exact degrees it
+// recovers the offline algorithm's ordering heuristic.
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace ebv {
+
+class StreamingEbvPartitioner final : public Partitioner {
+ public:
+  explicit StreamingEbvPartitioner(std::size_t window = 4096)
+      : window_(window) {}
+
+  [[nodiscard]] std::string name() const override { return "ebv-stream"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& graph, const PartitionConfig& config) const override;
+
+  [[nodiscard]] std::size_t window() const { return window_; }
+
+ private:
+  std::size_t window_;
+};
+
+}  // namespace ebv

@@ -1,0 +1,33 @@
+// Fennel (Tsourakakis et al., WSDM 2014) — the streaming *edge-cut*
+// framework the paper's related work builds on (Ginger is "Fennel-style").
+// Included as an extension baseline.
+//
+// Vertices stream in natural order; each vertex v is placed on the part
+// maximising  |N(v) ∩ V_i| − α·γ·|V_i|^(γ−1)  with the canonical
+// parameters γ = 1.5, α = |E|·p^(γ−1)/|V|^γ. The vertex partition is
+// projected to an edge partition by the source vertex (the same
+// projection used for the METIS-like baseline).
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace ebv {
+
+class FennelPartitioner final : public Partitioner {
+ public:
+  explicit FennelPartitioner(double gamma = 1.5) : gamma_(gamma) {}
+
+  [[nodiscard]] std::string name() const override { return "fennel"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& graph, const PartitionConfig& config) const override;
+
+  /// Underlying streaming vertex placement (exposed for tests and for
+  /// edge-cut metrics).
+  [[nodiscard]] std::vector<PartitionId> partition_vertices(
+      const Graph& graph, const PartitionConfig& config) const;
+
+ private:
+  double gamma_;
+};
+
+}  // namespace ebv

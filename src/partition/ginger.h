@@ -1,0 +1,34 @@
+// Ginger (Chen et al., PowerLyra, TOPC 2019): hybrid-cut improved with a
+// Fennel-style greedy placement.
+//
+// Vertices are split by in-degree against a threshold θ (average in-degree
+// by default, as in PowerLyra):
+//  - low-degree vertex v: v is *placed* on the worker maximising the
+//    Fennel-like score  |N_in(v) ∩ placed(i)| − γ·(vcount[i]/(|V|/p)
+//    + ecount[i]/(|E|/p))/2, and ALL of v's in-edges follow it;
+//  - high-degree vertex v: each in-edge (u,v) is assigned by hashing the
+//    source u (high-degree vertices are cut, like DBH).
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace ebv {
+
+class GingerPartitioner final : public Partitioner {
+ public:
+  /// `degree_threshold_factor` scales the average in-degree to form θ;
+  /// `gamma` weighs the balance penalty in the greedy score.
+  explicit GingerPartitioner(double degree_threshold_factor = 2.0,
+                             double gamma = 1.5)
+      : threshold_factor_(degree_threshold_factor), gamma_(gamma) {}
+
+  [[nodiscard]] std::string name() const override { return "ginger"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& graph, const PartitionConfig& config) const override;
+
+ private:
+  double threshold_factor_;
+  double gamma_;
+};
+
+}  // namespace ebv

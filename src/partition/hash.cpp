@@ -1,0 +1,38 @@
+#include "partition/hash.h"
+
+#include "common/rng.h"
+
+namespace ebv {
+
+EdgePartition RandomPartitioner::partition(
+    const Graph& graph, const PartitionConfig& config) const {
+  check_partition_config(graph, config);
+  Rng rng(derive_seed(config.seed, 0x7A));
+  EdgePartition result;
+  result.num_parts = config.num_parts;
+  result.part_of_edge.resize(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    result.part_of_edge[e] =
+        static_cast<PartitionId>(bounded(rng, config.num_parts));
+  }
+  return result;
+}
+
+EdgePartition EdgeHashPartitioner::partition(
+    const Graph& graph, const PartitionConfig& config) const {
+  check_partition_config(graph, config);
+  const std::uint64_t salt = derive_seed(config.seed, 0x1D);
+  EdgePartition result;
+  result.num_parts = config.num_parts;
+  result.part_of_edge.resize(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const auto [u, v] = graph.edge(e);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v);
+    result.part_of_edge[e] =
+        static_cast<PartitionId>(mix64(key ^ salt) % config.num_parts);
+  }
+  return result;
+}
+
+}  // namespace ebv

@@ -1,0 +1,27 @@
+// Trivial baselines: uniform random edge assignment and 1-D edge hashing.
+// Not in the paper's comparison tables, but indispensable as sanity floors
+// for tests and ablations.
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace ebv {
+
+/// Assigns each edge uniformly at random (seeded).
+class RandomPartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "random"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& graph, const PartitionConfig& config) const override;
+};
+
+/// Hashes the (src, dst) pair — deterministic placement independent of
+/// degree information.
+class EdgeHashPartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "hash"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& graph, const PartitionConfig& config) const override;
+};
+
+}  // namespace ebv

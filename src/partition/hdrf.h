@@ -1,0 +1,26 @@
+// HDRF — High-Degree (are) Replicated First (Petroni et al., CIKM 2015).
+// A streaming vertex-cut from the paper's related work (§VI), included as
+// an extension baseline: per edge, pick the partition maximising
+//   C_rep(u,v,i) + λ · C_bal(i)
+// where C_rep rewards partitions already holding an endpoint, weighted so
+// that the *lower*-degree endpoint counts more (hubs get replicated), and
+// C_bal = (maxsize − ecount[i]) / (ε + maxsize − minsize).
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace ebv {
+
+class HdrfPartitioner final : public Partitioner {
+ public:
+  explicit HdrfPartitioner(double lambda = 1.0) : lambda_(lambda) {}
+
+  [[nodiscard]] std::string name() const override { return "hdrf"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& graph, const PartitionConfig& config) const override;
+
+ private:
+  double lambda_;
+};
+
+}  // namespace ebv

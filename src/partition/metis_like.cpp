@@ -1,0 +1,353 @@
+#include "partition/metis_like.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace ebv {
+namespace {
+
+/// Weighted undirected working graph used across multilevel phases.
+/// Adjacency is CSR-like with merged parallel edges.
+struct WorkGraph {
+  std::vector<std::uint64_t> offsets;     // size n+1
+  std::vector<VertexId> neighbors;
+  std::vector<std::uint64_t> edge_weights;  // parallel to neighbors
+  std::vector<std::uint64_t> vertex_weights;  // size n
+
+  [[nodiscard]] VertexId size() const {
+    return static_cast<VertexId>(vertex_weights.size());
+  }
+  [[nodiscard]] std::span<const VertexId> adj(VertexId v) const {
+    return {neighbors.data() + offsets[v], neighbors.data() + offsets[v + 1]};
+  }
+  [[nodiscard]] std::span<const std::uint64_t> weights(VertexId v) const {
+    return {edge_weights.data() + offsets[v],
+            edge_weights.data() + offsets[v + 1]};
+  }
+};
+
+/// Build the symmetrised, deduplicated weighted graph from the edge list.
+WorkGraph build_work_graph(const Graph& graph) {
+  // Count symmetric adjacency (each directed edge contributes both ways).
+  const VertexId n = graph.num_vertices();
+  std::vector<std::uint64_t> degree(n, 0);
+  for (const Edge& e : graph.edges()) {
+    ++degree[e.src];
+    ++degree[e.dst];
+  }
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] = offsets[v] + degree[v];
+  std::vector<VertexId> raw(offsets.back());
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : graph.edges()) {
+    raw[cursor[e.src]++] = e.dst;
+    raw[cursor[e.dst]++] = e.src;
+  }
+
+  // Deduplicate each adjacency list, merging parallel edges into weights.
+  WorkGraph wg;
+  wg.vertex_weights.assign(n, 1);
+  wg.offsets.assign(n + 1, 0);
+  std::vector<VertexId> merged_neighbors;
+  merged_neighbors.reserve(raw.size());
+  std::vector<std::uint64_t> merged_weights;
+  merged_weights.reserve(raw.size());
+  std::vector<VertexId> scratch;
+  for (VertexId v = 0; v < n; ++v) {
+    scratch.assign(raw.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+                   raw.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+    std::sort(scratch.begin(), scratch.end());
+    for (std::size_t i = 0; i < scratch.size();) {
+      const VertexId u = scratch[i];
+      std::size_t j = i;
+      while (j < scratch.size() && scratch[j] == u) ++j;
+      if (u != v) {  // drop self-loops
+        merged_neighbors.push_back(u);
+        merged_weights.push_back(j - i);
+      }
+      i = j;
+    }
+    wg.offsets[v + 1] = merged_neighbors.size();
+  }
+  wg.neighbors = std::move(merged_neighbors);
+  wg.edge_weights = std::move(merged_weights);
+  return wg;
+}
+
+struct CoarseLevel {
+  WorkGraph graph;
+  std::vector<VertexId> coarse_of_fine;  // map into the next-coarser graph
+};
+
+/// Heavy-edge matching: visit vertices in random order, match each
+/// unmatched vertex with its unmatched neighbour of maximum edge weight.
+std::vector<VertexId> heavy_edge_matching(const WorkGraph& g, Rng& rng) {
+  const VertexId n = g.size();
+  std::vector<VertexId> match(n, kInvalidVertex);
+  std::vector<VertexId> visit(n);
+  std::iota(visit.begin(), visit.end(), VertexId{0});
+  std::shuffle(visit.begin(), visit.end(), rng);
+
+  for (const VertexId v : visit) {
+    if (match[v] != kInvalidVertex) continue;
+    VertexId best = kInvalidVertex;
+    std::uint64_t best_weight = 0;
+    const auto adj = g.adj(v);
+    const auto wts = g.weights(v);
+    for (std::size_t k = 0; k < adj.size(); ++k) {
+      const VertexId u = adj[k];
+      if (u == v || match[u] != kInvalidVertex) continue;
+      if (wts[k] > best_weight) {
+        best_weight = wts[k];
+        best = u;
+      }
+    }
+    if (best == kInvalidVertex) {
+      match[v] = v;  // stays single
+    } else {
+      match[v] = best;
+      match[best] = v;
+    }
+  }
+  return match;
+}
+
+/// Contract matched pairs into a coarser graph.
+CoarseLevel contract(const WorkGraph& g, const std::vector<VertexId>& match) {
+  const VertexId n = g.size();
+  CoarseLevel level;
+  level.coarse_of_fine.assign(n, kInvalidVertex);
+  VertexId coarse_n = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (level.coarse_of_fine[v] != kInvalidVertex) continue;
+    const VertexId m = match[v];
+    level.coarse_of_fine[v] = coarse_n;
+    if (m != v) level.coarse_of_fine[m] = coarse_n;
+    ++coarse_n;
+  }
+
+  WorkGraph& cg = level.graph;
+  cg.vertex_weights.assign(coarse_n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    cg.vertex_weights[level.coarse_of_fine[v]] += g.vertex_weights[v];
+  }
+
+  // Accumulate coarse adjacency via a per-vertex hash map.
+  cg.offsets.assign(coarse_n + 1, 0);
+  std::vector<std::unordered_map<VertexId, std::uint64_t>> rows(coarse_n);
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId cv = level.coarse_of_fine[v];
+    const auto adj = g.adj(v);
+    const auto wts = g.weights(v);
+    for (std::size_t k = 0; k < adj.size(); ++k) {
+      const VertexId cu = level.coarse_of_fine[adj[k]];
+      if (cu == cv) continue;
+      rows[cv][cu] += wts[k];
+    }
+  }
+  for (VertexId cv = 0; cv < coarse_n; ++cv) {
+    cg.offsets[cv + 1] = cg.offsets[cv] + rows[cv].size();
+  }
+  cg.neighbors.resize(cg.offsets.back());
+  cg.edge_weights.resize(cg.offsets.back());
+  for (VertexId cv = 0; cv < coarse_n; ++cv) {
+    std::uint64_t slot = cg.offsets[cv];
+    // Deterministic order within the row.
+    std::vector<std::pair<VertexId, std::uint64_t>> sorted(rows[cv].begin(),
+                                                           rows[cv].end());
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& [cu, w] : sorted) {
+      cg.neighbors[slot] = cu;
+      cg.edge_weights[slot] = w;
+      ++slot;
+    }
+  }
+  return level;
+}
+
+/// Greedy graph growing over the coarsest graph: grow each part by BFS
+/// from the heaviest unassigned vertex until its vertex-weight budget is
+/// met; remaining vertices go to the lightest part.
+std::vector<PartitionId> initial_partition(const WorkGraph& g, PartitionId p,
+                                           Rng& rng) {
+  const VertexId n = g.size();
+  std::vector<PartitionId> part(n, kInvalidPartition);
+  const std::uint64_t total_weight =
+      std::accumulate(g.vertex_weights.begin(), g.vertex_weights.end(),
+                      std::uint64_t{0});
+  const std::uint64_t budget = (total_weight + p - 1) / p;
+
+  std::vector<VertexId> seeds(n);
+  std::iota(seeds.begin(), seeds.end(), VertexId{0});
+  std::shuffle(seeds.begin(), seeds.end(), rng);
+  std::size_t seed_cursor = 0;
+
+  std::vector<std::uint64_t> load(p, 0);
+  for (PartitionId i = 0; i + 1 < p || p == 1; ++i) {
+    if (i >= p) break;
+    // Find a seed.
+    while (seed_cursor < seeds.size() &&
+           part[seeds[seed_cursor]] != kInvalidPartition) {
+      ++seed_cursor;
+    }
+    if (seed_cursor >= seeds.size()) break;
+    std::vector<VertexId> frontier{seeds[seed_cursor]};
+    while (!frontier.empty() && load[i] < budget) {
+      std::vector<VertexId> next;
+      for (const VertexId v : frontier) {
+        if (part[v] != kInvalidPartition) continue;
+        if (load[i] >= budget) break;
+        part[v] = i;
+        load[i] += g.vertex_weights[v];
+        for (const VertexId u : g.adj(v)) {
+          if (part[u] == kInvalidPartition) next.push_back(u);
+        }
+      }
+      frontier = std::move(next);
+      if (frontier.empty() && load[i] < budget) {
+        // Disconnected remainder: jump to a fresh seed.
+        while (seed_cursor < seeds.size() &&
+               part[seeds[seed_cursor]] != kInvalidPartition) {
+          ++seed_cursor;
+        }
+        if (seed_cursor >= seeds.size()) break;
+        frontier.push_back(seeds[seed_cursor]);
+      }
+    }
+    if (p == 1) break;
+  }
+  // Everything unassigned goes to the currently lightest part.
+  for (VertexId v = 0; v < n; ++v) {
+    if (part[v] != kInvalidPartition) continue;
+    const auto it = std::min_element(load.begin(), load.end());
+    const PartitionId i = static_cast<PartitionId>(it - load.begin());
+    part[v] = i;
+    load[i] += g.vertex_weights[v];
+  }
+  return part;
+}
+
+/// One boundary-FM pass: move boundary vertices to the neighbouring part
+/// with the largest cut gain, subject to the balance tolerance. Returns
+/// the number of moves made.
+std::size_t fm_pass(const WorkGraph& g, std::vector<PartitionId>& part,
+                    PartitionId p, double tolerance) {
+  const VertexId n = g.size();
+  std::vector<std::uint64_t> load(p, 0);
+  for (VertexId v = 0; v < n; ++v) load[part[v]] += g.vertex_weights[v];
+  const std::uint64_t total =
+      std::accumulate(load.begin(), load.end(), std::uint64_t{0});
+  const double max_load = tolerance * static_cast<double>(total) / p;
+
+  std::size_t moves = 0;
+  std::vector<std::int64_t> gain(p, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    const PartitionId home = part[v];
+    const auto adj = g.adj(v);
+    const auto wts = g.weights(v);
+    // Connectivity of v to each part.
+    bool boundary = false;
+    std::fill(gain.begin(), gain.end(), 0);
+    for (std::size_t k = 0; k < adj.size(); ++k) {
+      gain[part[adj[k]]] += static_cast<std::int64_t>(wts[k]);
+      if (part[adj[k]] != home) boundary = true;
+    }
+    if (!boundary) continue;
+    PartitionId best = home;
+    std::int64_t best_gain = gain[home];
+    for (PartitionId i = 0; i < p; ++i) {
+      if (i == home) continue;
+      if (static_cast<double>(load[i] + g.vertex_weights[v]) > max_load) {
+        continue;
+      }
+      if (gain[i] > best_gain) {
+        best_gain = gain[i];
+        best = i;
+      }
+    }
+    if (best != home) {
+      load[home] -= g.vertex_weights[v];
+      load[best] += g.vertex_weights[v];
+      part[v] = best;
+      ++moves;
+    }
+  }
+  return moves;
+}
+
+}  // namespace
+
+std::vector<PartitionId> MetisLikePartitioner::partition_vertices(
+    const Graph& graph, const PartitionConfig& config) const {
+  check_partition_config(graph, config);
+  const PartitionId p = config.num_parts;
+  Rng rng(derive_seed(config.seed, 0x4D));
+
+  // Phase 1: coarsen.
+  std::vector<CoarseLevel> levels;
+  WorkGraph current = build_work_graph(graph);
+  const VertexId stop_at =
+      std::max<VertexId>(params_.coarsen_to * p, 64);
+  while (current.size() > stop_at) {
+    const std::vector<VertexId> match = heavy_edge_matching(current, rng);
+    CoarseLevel level = contract(current, match);
+    if (level.graph.size() >= current.size()) break;  // matching stalled
+    // Stop if shrinkage is below 10% — classic METIS stall guard.
+    if (static_cast<double>(level.graph.size()) >
+        0.9 * static_cast<double>(current.size())) {
+      levels.push_back(std::move(level));
+      current = levels.back().graph;
+      break;
+    }
+    levels.push_back(std::move(level));
+    current = levels.back().graph;
+  }
+
+  // Phase 2: initial partition on the coarsest graph.
+  std::vector<PartitionId> part = initial_partition(current, p, rng);
+  for (int pass = 0; pass < params_.refinement_passes; ++pass) {
+    if (fm_pass(current, part, p, params_.balance_tolerance) == 0) break;
+  }
+
+  // Phase 3: project back and refine at every level.
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    const WorkGraph* finer =
+        (it + 1 == levels.rend()) ? nullptr : &(it + 1)->graph;
+    const std::vector<VertexId>& map = it->coarse_of_fine;
+    std::vector<PartitionId> fine_part(map.size());
+    for (std::size_t v = 0; v < map.size(); ++v) fine_part[v] = part[map[v]];
+    part = std::move(fine_part);
+    const WorkGraph& level_graph =
+        finer != nullptr ? *finer : build_work_graph(graph);
+    for (int pass = 0; pass < params_.refinement_passes; ++pass) {
+      if (fm_pass(level_graph, part, p, params_.balance_tolerance) == 0) break;
+    }
+  }
+  if (levels.empty()) {
+    // Graph was already small enough: `part` indexes the original graph.
+    EBV_ASSERT(part.size() == graph.num_vertices());
+  }
+  EBV_ASSERT(part.size() == graph.num_vertices());
+  return part;
+}
+
+EdgePartition MetisLikePartitioner::partition(
+    const Graph& graph, const PartitionConfig& config) const {
+  const std::vector<PartitionId> vertex_part =
+      partition_vertices(graph, config);
+  EdgePartition result;
+  result.num_parts = config.num_parts;
+  result.part_of_edge.resize(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    result.part_of_edge[e] = vertex_part[graph.edge(e).src];
+  }
+  return result;
+}
+
+}  // namespace ebv

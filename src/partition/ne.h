@@ -1,0 +1,23 @@
+// NE — Neighbor Expansion (Zhang et al., KDD 2017). A local-based edge
+// partitioner: partitions are grown one at a time by expanding a core set
+// from a boundary, allocating all unallocated edges incident to the chosen
+// vertex, until the partition reaches its edge budget |E|/p.
+//
+// NE keeps local structure (low replication factor, edge-balanced) but, on
+// power-law graphs, the partition that swallows a hub also swallows its
+// neighbourhood — producing the vertex imbalance the paper reports in
+// Table III.
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace ebv {
+
+class NePartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "ne"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& graph, const PartitionConfig& config) const override;
+};
+
+}  // namespace ebv

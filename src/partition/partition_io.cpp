@@ -1,0 +1,137 @@
+#include "partition/partition_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace ebv::io {
+namespace {
+
+constexpr char kMagic[4] = {'E', 'B', 'V', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw std::runtime_error("EBVP: truncated input");
+  return value;
+}
+
+void validate(const EdgePartition& partition) {
+  for (const PartitionId i : partition.part_of_edge) {
+    if (i >= partition.num_parts) {
+      throw std::runtime_error("EBVP: part id out of range");
+    }
+  }
+}
+
+}  // namespace
+
+void write_partition(std::ostream& out, const EdgePartition& partition) {
+  out << "# ebv partition p=" << partition.num_parts
+      << " edges=" << partition.part_of_edge.size() << '\n';
+  for (const PartitionId i : partition.part_of_edge) out << i << '\n';
+}
+
+EdgePartition read_partition(std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header) || header.rfind("# ebv partition", 0) != 0) {
+    throw std::runtime_error("EBVP text: missing header");
+  }
+  EdgePartition partition;
+  std::uint64_t edges = 0;
+  std::istringstream fields(header.substr(header.find("p=")));
+  char skip = 0;
+  std::string token;
+  // Parse "p=<num> edges=<num>".
+  fields.ignore(2);
+  if (!(fields >> partition.num_parts)) {
+    throw std::runtime_error("EBVP text: bad part count");
+  }
+  fields >> token;  // "edges=<num>"
+  if (token.rfind("edges=", 0) != 0) {
+    throw std::runtime_error("EBVP text: bad edge count");
+  }
+  edges = std::stoull(token.substr(6));
+  (void)skip;
+
+  partition.part_of_edge.reserve(edges);
+  PartitionId value = 0;
+  while (in >> value) partition.part_of_edge.push_back(value);
+  if (partition.part_of_edge.size() != edges) {
+    throw std::runtime_error("EBVP text: edge count mismatch");
+  }
+  validate(partition);
+  return partition;
+}
+
+void write_partition_file(const std::string& path,
+                          const EdgePartition& partition) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_partition(out, partition);
+}
+
+EdgePartition read_partition_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_partition(in);
+}
+
+void write_partition_binary(std::ostream& out,
+                            const EdgePartition& partition) {
+  out.write(kMagic, sizeof kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, partition.num_parts);
+  write_pod(out, static_cast<std::uint64_t>(partition.part_of_edge.size()));
+  out.write(reinterpret_cast<const char*>(partition.part_of_edge.data()),
+            static_cast<std::streamsize>(partition.part_of_edge.size() *
+                                         sizeof(PartitionId)));
+  if (!out) throw std::runtime_error("EBVP: write failed");
+}
+
+EdgePartition read_partition_binary(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::string_view(magic, 4) != std::string_view(kMagic, 4)) {
+    throw std::runtime_error("EBVP: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("EBVP: unsupported version " +
+                             std::to_string(version));
+  }
+  EdgePartition partition;
+  partition.num_parts = read_pod<PartitionId>(in);
+  const auto edges = read_pod<std::uint64_t>(in);
+  partition.part_of_edge.resize(edges);
+  in.read(reinterpret_cast<char*>(partition.part_of_edge.data()),
+          static_cast<std::streamsize>(edges * sizeof(PartitionId)));
+  if (!in) throw std::runtime_error("EBVP: truncated part array");
+  validate(partition);
+  return partition;
+}
+
+void write_partition_binary_file(const std::string& path,
+                                 const EdgePartition& partition) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_partition_binary(out, partition);
+}
+
+EdgePartition read_partition_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_partition_binary(in);
+}
+
+}  // namespace ebv::io

@@ -1,0 +1,28 @@
+// Serialisation of partition results, so expensive offline partitions
+// (METIS-like, NE) can be computed once and reused across experiments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "partition/partitioner.h"
+
+namespace ebv::io {
+
+/// Text format: header line "# ebv partition p=<parts> edges=<count>",
+/// then one part id per line in edge order.
+void write_partition(std::ostream& out, const EdgePartition& partition);
+void write_partition_file(const std::string& path,
+                          const EdgePartition& partition);
+EdgePartition read_partition(std::istream& in);
+EdgePartition read_partition_file(const std::string& path);
+
+/// Binary format: "EBVP" magic, u32 version, u32 parts, u64 edges, raw
+/// part-id array. Throws std::runtime_error on malformed input.
+void write_partition_binary(std::ostream& out, const EdgePartition& partition);
+void write_partition_binary_file(const std::string& path,
+                                 const EdgePartition& partition);
+EdgePartition read_partition_binary(std::istream& in);
+EdgePartition read_partition_binary_file(const std::string& path);
+
+}  // namespace ebv::io

@@ -1,0 +1,59 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace ebv {
+
+std::vector<EdgeId> make_edge_order(const Graph& graph, EdgeOrder order,
+                                    std::uint64_t seed) {
+  std::vector<EdgeId> ids(graph.num_edges());
+  std::iota(ids.begin(), ids.end(), EdgeId{0});
+
+  auto degree_sum = [&](EdgeId e) {
+    const Edge& edge = graph.edge(e);
+    return static_cast<std::uint64_t>(graph.degree(edge.src)) +
+           graph.degree(edge.dst);
+  };
+  auto key_less = [&](EdgeId a, EdgeId b) {
+    const auto da = degree_sum(a);
+    const auto db = degree_sum(b);
+    if (da != db) return da < db;
+    const Edge& ea = graph.edge(a);
+    const Edge& eb = graph.edge(b);
+    if (ea.src != eb.src) return ea.src < eb.src;
+    if (ea.dst != eb.dst) return ea.dst < eb.dst;
+    return a < b;
+  };
+
+  switch (order) {
+    case EdgeOrder::kNatural:
+      break;
+    case EdgeOrder::kSortedAscending:
+      std::sort(ids.begin(), ids.end(), key_less);
+      break;
+    case EdgeOrder::kSortedDescending:
+      std::sort(ids.begin(), ids.end(),
+                [&](EdgeId a, EdgeId b) { return key_less(b, a); });
+      break;
+    case EdgeOrder::kRandom: {
+      Rng rng(derive_seed(seed, 0x0E));
+      std::shuffle(ids.begin(), ids.end(), rng);
+      break;
+    }
+  }
+  return ids;
+}
+
+void check_partition_config(const Graph& graph,
+                            const PartitionConfig& config) {
+  EBV_REQUIRE(config.num_parts >= 1, "num_parts must be positive");
+  EBV_REQUIRE(graph.num_vertices() > 0, "cannot partition an empty graph");
+  EBV_REQUIRE(config.alpha >= 0.0 && config.beta >= 0.0,
+              "alpha and beta must be non-negative");
+}
+
+}  // namespace ebv

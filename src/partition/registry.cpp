@@ -1,0 +1,48 @@
+#include "partition/registry.h"
+
+#include <stdexcept>
+
+#include "partition/cvc.h"
+#include "partition/dbh.h"
+#include "partition/ebv.h"
+#include "partition/ebv_distributed.h"
+#include "partition/ebv_streaming.h"
+#include "partition/fennel.h"
+#include "partition/ginger.h"
+#include "partition/hash.h"
+#include "partition/hdrf.h"
+#include "partition/metis_like.h"
+#include "partition/ne.h"
+
+namespace ebv {
+
+std::unique_ptr<Partitioner> make_partitioner(const std::string& name) {
+  if (name == "ebv") return std::make_unique<EbvPartitioner>();
+  if (name == "ebv-stream") return std::make_unique<StreamingEbvPartitioner>();
+  if (name == "ebv-dist") return std::make_unique<DistributedEbvPartitioner>();
+  if (name == "fennel") return std::make_unique<FennelPartitioner>();
+  if (name == "ginger") return std::make_unique<GingerPartitioner>();
+  if (name == "dbh") return std::make_unique<DbhPartitioner>();
+  if (name == "cvc") return std::make_unique<CvcPartitioner>();
+  if (name == "ne") return std::make_unique<NePartitioner>();
+  if (name == "metis") return std::make_unique<MetisLikePartitioner>();
+  if (name == "hdrf") return std::make_unique<HdrfPartitioner>();
+  if (name == "random") return std::make_unique<RandomPartitioner>();
+  if (name == "hash") return std::make_unique<EdgeHashPartitioner>();
+  throw std::invalid_argument("unknown partitioner: " + name);
+}
+
+const std::vector<std::string>& paper_partitioners() {
+  static const std::vector<std::string> names = {"ebv", "ginger", "dbh",
+                                                 "cvc", "ne", "metis"};
+  return names;
+}
+
+const std::vector<std::string>& all_partitioners() {
+  static const std::vector<std::string> names = {
+      "ebv",  "ebv-stream", "ebv-dist", "ginger", "dbh",    "cvc",
+      "ne",   "metis",      "hdrf",     "fennel", "random", "hash"};
+  return names;
+}
+
+}  // namespace ebv

@@ -1,0 +1,24 @@
+// Name → partitioner factory. Benches, examples and tests iterate the
+// paper's six algorithms through this registry.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "partition/partitioner.h"
+
+namespace ebv {
+
+/// Create a partitioner by name. Known names: "ebv", "ebv-stream",
+/// "ginger", "dbh", "cvc", "ne", "metis", "hdrf", "random", "hash".
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<Partitioner> make_partitioner(const std::string& name);
+
+/// The six algorithms of the paper's comparison tables, in table order.
+const std::vector<std::string>& paper_partitioners();
+
+/// Every registered name (paper six + extensions).
+const std::vector<std::string>& all_partitioners();
+
+}  // namespace ebv

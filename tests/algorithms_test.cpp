@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+
+namespace ebv {
+namespace {
+
+TEST(CoreDecomposition, TriangleIsTwoCore) {
+  const Graph g(3, {{0, 1}, {1, 2}, {2, 0}});
+  const auto core = core_decomposition(g);
+  EXPECT_EQ(core, (std::vector<std::uint32_t>{2, 2, 2}));
+}
+
+TEST(CoreDecomposition, StarLeavesAreOneCore) {
+  const Graph g(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const auto core = core_decomposition(g);
+  EXPECT_EQ(core[0], 1u) << "the hub peels once all leaves are gone";
+  for (VertexId v = 1; v < 5; ++v) EXPECT_EQ(core[v], 1u);
+}
+
+TEST(CoreDecomposition, CliquePlusTail) {
+  // 4-clique {0..3} with a tail 3-4-5.
+  const Graph g(6, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+                    {3, 4}, {4, 5}});
+  const auto core = core_decomposition(g);
+  EXPECT_EQ(core[0], 3u);
+  EXPECT_EQ(core[3], 3u);
+  EXPECT_EQ(core[4], 1u);
+  EXPECT_EQ(core[5], 1u);
+}
+
+TEST(CoreDecomposition, CoreNeverExceedsDegree) {
+  const Graph g = gen::chung_lu(1000, 8000, 2.3, false, 5);
+  const auto core = core_decomposition(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(core[v], g.degree(v));
+  }
+}
+
+TEST(CoreDecomposition, DuplicateEdgesDoNotInflateCores) {
+  // Both directions of one edge: still a 1-core.
+  const Graph g(2, {{0, 1}, {1, 0}});
+  const auto core = core_decomposition(g);
+  EXPECT_EQ(core, (std::vector<std::uint32_t>{1, 1}));
+}
+
+TEST(Triangles, TriangleGraph) {
+  const Graph g(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(total_triangles(g), 1u);
+  EXPECT_EQ(triangle_counts(g), (std::vector<std::uint64_t>{1, 1, 1}));
+}
+
+TEST(Triangles, SquareHasNone) {
+  const Graph g(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(total_triangles(g), 0u);
+}
+
+TEST(Triangles, CompleteGraphK5) {
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) edges.push_back({u, v});
+  }
+  const Graph g(5, std::move(edges));
+  EXPECT_EQ(total_triangles(g), 10u);  // C(5,3)
+  for (const auto t : triangle_counts(g)) EXPECT_EQ(t, 6u);  // C(4,2)
+}
+
+TEST(Triangles, DirectionAndDuplicatesCollapse) {
+  // A triangle stored with both directions on every edge: still 1.
+  const Graph g(3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 0}, {0, 2}});
+  EXPECT_EQ(total_triangles(g), 1u);
+}
+
+TEST(Clustering, CompleteGraphIsOne) {
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < 6; ++u) {
+    for (VertexId v = u + 1; v < 6; ++v) edges.push_back({u, v});
+  }
+  const Graph g(6, std::move(edges));
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(g), 1.0);
+}
+
+TEST(Clustering, TreeIsZero) {
+  const Graph g(5, {{0, 1}, {0, 2}, {1, 3}, {1, 4}});
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(g), 0.0);
+}
+
+TEST(Clustering, RoadGridLowSocialHigher) {
+  const Graph road = gen::road_grid(30, 30, 1.0, 1);
+  const Graph social = gen::barabasi_albert(900, 5, 1);
+  EXPECT_LT(global_clustering_coefficient(road),
+            global_clustering_coefficient(social));
+}
+
+TEST(Diameter, PathGraphExact) {
+  // Path of 10 vertices: diameter 9; double sweep finds it.
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < 10; ++v) edges.push_back({v, v + 1});
+  const Graph g(10, std::move(edges));
+  EXPECT_EQ(estimate_diameter(g, 4, 1), 9u);
+}
+
+TEST(Diameter, GridScalesWithSide) {
+  const Graph small = gen::road_grid(8, 8, 1.0, 2);
+  const Graph large = gen::road_grid(24, 24, 1.0, 2);
+  EXPECT_LT(estimate_diameter(small, 4, 3), estimate_diameter(large, 4, 3));
+}
+
+TEST(Diameter, NeedsAtLeastOneSample) {
+  const Graph g(2, {{0, 1}});
+  EXPECT_THROW(estimate_diameter(g, 0, 1), std::invalid_argument);
+}
+
+TEST(Diameter, PowerLawIsSmallWorld) {
+  const Graph g = gen::chung_lu(5000, 50000, 2.3, false, 9);
+  EXPECT_LE(estimate_diameter(g, 4, 4), 12u);
+}
+
+}  // namespace
+}  // namespace ebv

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace ebv {
+namespace {
+
+TEST(Builder, BasicBuild) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Builder, SelfLoopsRemovedByDefault) {
+  GraphBuilder b;
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  EXPECT_EQ(b.pending_edges(), 1u);
+  EXPECT_EQ(b.build().num_edges(), 1u);
+}
+
+TEST(Builder, SelfLoopsKeptWhenRequested) {
+  GraphBuilder::Options opts;
+  opts.remove_self_loops = false;
+  GraphBuilder b(opts);
+  b.add_edge(0, 0);
+  EXPECT_EQ(b.build().num_edges(), 1u);
+}
+
+TEST(Builder, Deduplicate) {
+  GraphBuilder::Options opts;
+  opts.deduplicate = true;
+  GraphBuilder b(opts);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // reverse direction is a distinct edge
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Builder, MakeUndirectedAddsReverses) {
+  GraphBuilder::Options opts;
+  opts.make_undirected = true;
+  GraphBuilder b(opts);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+}
+
+TEST(Builder, CompactIdsRelabelsSparseSpace) {
+  GraphBuilder::Options opts;
+  opts.compact_ids = true;
+  GraphBuilder b(opts);
+  b.add_edge(1'000'000'000'000ULL, 5'000'000'000'000ULL);
+  b.add_edge(5'000'000'000'000ULL, 7);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  const auto& originals = b.original_ids();
+  ASSERT_EQ(originals.size(), 3u);
+  EXPECT_EQ(originals[0], 1'000'000'000'000ULL);
+  EXPECT_EQ(originals[1], 5'000'000'000'000ULL);
+  EXPECT_EQ(originals[2], 7u);
+}
+
+TEST(Builder, RejectsHugeIdsWithoutCompaction) {
+  GraphBuilder b;
+  b.add_edge(1ULL << 40, 0);
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(Builder, MinVerticesPadsIsolatedTail) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  const Graph g = b.build(/*min_vertices=*/10);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.degree(9), 0u);
+}
+
+TEST(Builder, WeightsSurvive) {
+  GraphBuilder b;
+  b.add_edge(0, 1, 3.5f);
+  b.add_edge(1, 2);  // default weight 1
+  const Graph g = b.build();
+  ASSERT_TRUE(g.has_weights());
+  EXPECT_FLOAT_EQ(g.weight(0), 3.5f);
+  EXPECT_FLOAT_EQ(g.weight(1), 1.0f);
+}
+
+TEST(Builder, EmptyBuild) {
+  GraphBuilder b;
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Builder, BuilderIsReusableAfterBuild) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  (void)b.build();
+  EXPECT_EQ(b.pending_edges(), 0u);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.num_vertices(), 4u);
+}
+
+}  // namespace
+}  // namespace ebv

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/assert.h"
+#include "common/format.h"
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace ebv {
+namespace {
+
+TEST(Rng, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(1), mix64(1));
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outputs.insert(mix64(i));
+  EXPECT_EQ(outputs.size(), 1000u) << "mix64 should be injective on small inputs";
+}
+
+TEST(Rng, DeriveSeedDecorrelatesStreams) {
+  const std::uint64_t base = 42;
+  EXPECT_NE(derive_seed(base, 0), derive_seed(base, 1));
+  EXPECT_NE(derive_seed(base, 0), derive_seed(base + 1, 0));
+  EXPECT_EQ(derive_seed(base, 7), derive_seed(base, 7));
+}
+
+TEST(Rng, BoundedStaysInRangeAndCoversRange) {
+  Rng rng(123);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = bounded(rng, 7);
+    ASSERT_LT(x, 7u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BoundedOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(bounded(rng, 1), 0u);
+}
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(1468365182ULL), "1,468,365,182");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(1.2345, 2), "1.23");
+  EXPECT_EQ(format_fixed(1.0, 0), "1");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Format, Sci) {
+  EXPECT_EQ(format_sci(40500000.0, 2), "4.05e+07");
+}
+
+TEST(Format, Duration) {
+  EXPECT_EQ(format_duration(0.0000005), "0.5 us");
+  EXPECT_EQ(format_duration(0.0123), "12.3 ms");
+  EXPECT_EQ(format_duration(4.56), "4.56 s");
+}
+
+TEST(Assert, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(EBV_REQUIRE(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(EBV_REQUIRE(true, "fine"));
+}
+
+TEST(Assert, RequireMessageIsIncluded) {
+  try {
+    EBV_REQUIRE(1 == 2, "the message");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("the message"), std::string::npos);
+  }
+}
+
+TEST(Timer, MeasuresNonNegativeMonotonicTime) {
+  Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  t.reset();
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace ebv

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "bsp/cost_model.h"
+
+namespace ebv::bsp {
+namespace {
+
+TEST(CostModel, NodePlacementIsContiguous) {
+  ClusterCostModel m;
+  m.workers_per_node = 8;
+  EXPECT_TRUE(m.same_node(0, 7));
+  EXPECT_FALSE(m.same_node(7, 8));
+  EXPECT_TRUE(m.same_node(8, 15));
+  EXPECT_TRUE(m.same_node(3, 3));
+}
+
+TEST(CostModel, SingleWorkerPerNodeMakesEverythingRemote) {
+  ClusterCostModel m;
+  m.workers_per_node = 1;
+  EXPECT_FALSE(m.same_node(0, 1));
+  EXPECT_TRUE(m.same_node(2, 2));
+}
+
+TEST(CostModel, CompSecondsScalesLinearly) {
+  const ClusterCostModel m;
+  EXPECT_DOUBLE_EQ(m.comp_seconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.comp_seconds(2'000'000),
+                   2.0 * m.comp_seconds(1'000'000));
+}
+
+TEST(CostModel, RemoteMessagesCostMoreThanLocal) {
+  const ClusterCostModel m;
+  EXPECT_GT(m.comm_seconds(0, 100), m.comm_seconds(100, 0));
+  EXPECT_DOUBLE_EQ(m.comm_seconds(0, 0), 0.0);
+}
+
+TEST(CostModel, CommSecondsIsAdditive) {
+  const ClusterCostModel m;
+  EXPECT_DOUBLE_EQ(m.comm_seconds(10, 20),
+                   m.comm_seconds(10, 0) + m.comm_seconds(0, 20));
+}
+
+TEST(CostModel, CalibrationRatioMatchesPaperOrderOfMagnitude) {
+  // The paper's Table II has comm/comp ≈ 1/20 for CC over LiveJournal.
+  // With our calibration, a workload touching E edges and sending ~E/5
+  // messages must land in the same regime (within a factor of ~4).
+  const ClusterCostModel m;
+  const double comp = m.comp_seconds(1'000'000);
+  const double comm = m.comm_seconds(0, 200'000);
+  const double ratio = comm / comp;
+  EXPECT_GT(ratio, 0.01);
+  EXPECT_LT(ratio, 1.0);
+}
+
+TEST(CostModel, LatencyIndependentOfVolume) {
+  ClusterCostModel m;
+  m.superstep_latency_us = 500.0;
+  EXPECT_DOUBLE_EQ(m.latency_seconds(), 5e-4);
+}
+
+}  // namespace
+}  // namespace ebv::bsp

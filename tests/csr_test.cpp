@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/csr.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace ebv {
+namespace {
+
+Graph diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+  return Graph(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+}
+
+TEST(Csr, OutDirection) {
+  const auto csr = CsrGraph::build(diamond(), CsrGraph::Direction::kOut);
+  EXPECT_EQ(csr.num_vertices(), 4u);
+  EXPECT_EQ(csr.num_entries(), 4u);
+  EXPECT_EQ(csr.degree(0), 2u);
+  EXPECT_EQ(csr.degree(3), 0u);
+  const auto n0 = csr.neighbors(0);
+  EXPECT_EQ(std::vector<VertexId>(n0.begin(), n0.end()),
+            (std::vector<VertexId>{1, 2}));
+}
+
+TEST(Csr, InDirection) {
+  const auto csr = CsrGraph::build(diamond(), CsrGraph::Direction::kIn);
+  EXPECT_EQ(csr.degree(3), 2u);
+  EXPECT_EQ(csr.degree(0), 0u);
+  const auto n3 = csr.neighbors(3);
+  EXPECT_EQ(std::vector<VertexId>(n3.begin(), n3.end()),
+            (std::vector<VertexId>{1, 2}));
+}
+
+TEST(Csr, BothDirectionSymmetrises) {
+  const auto csr = CsrGraph::build(diamond(), CsrGraph::Direction::kBoth);
+  EXPECT_EQ(csr.num_entries(), 8u);
+  EXPECT_EQ(csr.degree(0), 2u);
+  EXPECT_EQ(csr.degree(3), 2u);
+  EXPECT_EQ(csr.degree(1), 2u);
+}
+
+TEST(Csr, EdgeIdsRecoverOriginatingEdge) {
+  const Graph g = diamond();
+  const auto csr = CsrGraph::build(g, CsrGraph::Direction::kOut);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto neighbors = csr.neighbors(v);
+    const auto ids = csr.edge_ids(v);
+    ASSERT_EQ(neighbors.size(), ids.size());
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      EXPECT_EQ(g.edge(ids[k]).src, v);
+      EXPECT_EQ(g.edge(ids[k]).dst, neighbors[k]);
+    }
+  }
+}
+
+TEST(Csr, EdgeIdsInBothDirectionPointBack) {
+  const Graph g = diamond();
+  const auto csr = CsrGraph::build(g, CsrGraph::Direction::kBoth);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto neighbors = csr.neighbors(v);
+    const auto ids = csr.edge_ids(v);
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      const Edge& e = g.edge(ids[k]);
+      const bool forward = e.src == v && e.dst == neighbors[k];
+      const bool backward = e.dst == v && e.src == neighbors[k];
+      EXPECT_TRUE(forward || backward);
+    }
+  }
+}
+
+TEST(Csr, EmptyGraph) {
+  const auto csr = CsrGraph::build(Graph(), CsrGraph::Direction::kOut);
+  EXPECT_EQ(csr.num_vertices(), 0u);
+  EXPECT_EQ(csr.num_entries(), 0u);
+}
+
+TEST(Csr, IsolatedVerticesHaveEmptyLists) {
+  const Graph g(5, {{0, 1}});
+  const auto csr = CsrGraph::build(g, CsrGraph::Direction::kBoth);
+  EXPECT_EQ(csr.degree(2), 0u);
+  EXPECT_EQ(csr.degree(4), 0u);
+  EXPECT_TRUE(csr.neighbors(3).empty());
+}
+
+TEST(Csr, TotalEntriesMatchDegreesOnRandomGraph) {
+  const Graph g = gen::erdos_renyi(200, 1000, 7);
+  const auto out = CsrGraph::build(g, CsrGraph::Direction::kOut);
+  const auto in = CsrGraph::build(g, CsrGraph::Direction::kIn);
+  std::uint64_t out_total = 0;
+  std::uint64_t in_total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(out.degree(v), g.out_degree(v));
+    EXPECT_EQ(in.degree(v), g.in_degree(v));
+    out_total += out.degree(v);
+    in_total += in.degree(v);
+  }
+  EXPECT_EQ(out_total, g.num_edges());
+  EXPECT_EQ(in_total, g.num_edges());
+}
+
+TEST(Csr, BuildFromSpanMatchesGraphBuild) {
+  const Graph g = diamond();
+  const auto a = CsrGraph::build(g, CsrGraph::Direction::kOut);
+  const auto b =
+      CsrGraph::build(g.num_vertices(), g.edges(), CsrGraph::Direction::kOut);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    EXPECT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()));
+  }
+}
+
+TEST(Csr, RejectsOutOfRangeEndpoints) {
+  const std::vector<Edge> edges = {{0, 9}};
+  EXPECT_THROW(CsrGraph::build(3, edges, CsrGraph::Direction::kOut),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ebv

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bsp/distributed_graph.h"
+#include "graph/generators.h"
+#include "partition/metrics.h"
+#include "partition/registry.h"
+
+namespace ebv {
+namespace {
+
+using bsp::DistributedGraph;
+
+EdgePartition round_robin(const Graph& g, PartitionId p) {
+  EdgePartition part{p, std::vector<PartitionId>(g.num_edges())};
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    part.part_of_edge[e] = static_cast<PartitionId>(e % p);
+  }
+  return part;
+}
+
+TEST(DistributedGraph, LocalEdgeCountsSumToGlobal) {
+  const Graph g = gen::chung_lu(500, 4000, 2.3, false, 1);
+  const auto part = round_robin(g, 4);
+  const DistributedGraph dist(g, part);
+  std::uint64_t total = 0;
+  for (PartitionId i = 0; i < 4; ++i) total += dist.local(i).num_edges();
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST(DistributedGraph, TotalReplicasMatchesMetrics) {
+  const Graph g = gen::chung_lu(800, 6000, 2.2, false, 2);
+  const auto part = make_partitioner("ebv")->partition(g, {.num_parts = 8});
+  const DistributedGraph dist(g, part);
+  const auto m = compute_metrics(g, part);
+  EXPECT_EQ(dist.total_replicas(), m.total_replicas);
+  std::uint64_t local_vertices = 0;
+  for (PartitionId i = 0; i < 8; ++i) {
+    local_vertices += dist.local(i).num_vertices();
+  }
+  EXPECT_EQ(local_vertices, m.total_replicas);
+}
+
+TEST(DistributedGraph, ExactlyOneMasterPerCoveredVertex) {
+  const Graph g = gen::chung_lu(600, 5000, 2.3, false, 3);
+  const auto part = round_robin(g, 6);
+  const DistributedGraph dist(g, part);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto& parts = dist.parts_of(v);
+    if (parts.empty()) {
+      EXPECT_EQ(dist.master_of(v), kInvalidPartition);
+      continue;
+    }
+    int masters = 0;
+    for (const PartitionId i : parts) {
+      const auto& ls = dist.local(i);
+      const VertexId lv = ls.local_of(v);
+      ASSERT_NE(lv, kInvalidVertex);
+      if (ls.is_master[lv] != 0) ++masters;
+      EXPECT_EQ(ls.master_part[lv], dist.master_of(v));
+    }
+    EXPECT_EQ(masters, 1) << "vertex " << v;
+    EXPECT_NE(std::find(parts.begin(), parts.end(), dist.master_of(v)),
+              parts.end())
+        << "master must hold a replica";
+  }
+}
+
+TEST(DistributedGraph, MasterHoldsMostIncidentEdges) {
+  // All edges of vertex 0 in part 1 except one in part 0: master is 1.
+  const Graph g(4, {{0, 1}, {0, 2}, {0, 3}});
+  EdgePartition part{2, {0, 1, 1}};
+  const DistributedGraph dist(g, part);
+  EXPECT_EQ(dist.master_of(0), 1u);
+}
+
+TEST(DistributedGraph, LocalEdgesMapBackToGlobalEndpoints) {
+  const Graph g = gen::erdos_renyi(300, 1500, 4);
+  const auto part = round_robin(g, 3);
+  const DistributedGraph dist(g, part);
+  // Count per-(src,dst) multiset equality through local translation.
+  std::multiset<std::pair<VertexId, VertexId>> global_edges;
+  for (const Edge& e : g.edges()) global_edges.insert({e.src, e.dst});
+  std::multiset<std::pair<VertexId, VertexId>> reconstructed;
+  for (PartitionId i = 0; i < 3; ++i) {
+    const auto& ls = dist.local(i);
+    for (const Edge& e : ls.edges) {
+      reconstructed.insert({ls.global_ids[e.src], ls.global_ids[e.dst]});
+    }
+  }
+  EXPECT_EQ(global_edges, reconstructed);
+}
+
+TEST(DistributedGraph, ReplicationFlagsConsistent) {
+  const Graph g = gen::chung_lu(400, 3000, 2.4, false, 6);
+  const auto part = round_robin(g, 5);
+  const DistributedGraph dist(g, part);
+  for (PartitionId i = 0; i < 5; ++i) {
+    const auto& ls = dist.local(i);
+    for (VertexId lv = 0; lv < ls.num_vertices(); ++lv) {
+      const VertexId gv = ls.global_ids[lv];
+      EXPECT_EQ(ls.is_replicated[lv] != 0, dist.parts_of(gv).size() > 1);
+      EXPECT_EQ(ls.local_of(gv), lv);
+    }
+  }
+}
+
+TEST(DistributedGraph, GlobalOutDegreesArePreserved) {
+  const Graph g = gen::chung_lu(300, 2500, 2.4, false, 7);
+  const auto part = round_robin(g, 4);
+  const DistributedGraph dist(g, part);
+  for (PartitionId i = 0; i < 4; ++i) {
+    const auto& ls = dist.local(i);
+    for (VertexId lv = 0; lv < ls.num_vertices(); ++lv) {
+      EXPECT_EQ(ls.global_out_degree[lv], g.out_degree(ls.global_ids[lv]));
+    }
+  }
+}
+
+TEST(DistributedGraph, WeightsFollowEdges) {
+  const Graph g = gen::road_grid(12, 12, 0.9, 8);
+  const auto part = round_robin(g, 3);
+  const DistributedGraph dist(g, part);
+  std::vector<EdgeId> cursor(3, 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const PartitionId i = part.part_of_edge[e];
+    const auto& ls = dist.local(i);
+    EXPECT_FLOAT_EQ(ls.weight(cursor[i]), g.weight(e));
+    ++cursor[i];
+  }
+}
+
+TEST(DistributedGraph, UncoveredVertexHasNoReplicas) {
+  const Graph g(5, {{0, 1}});  // vertices 2..4 uncovered
+  EdgePartition part{2, {0}};
+  const DistributedGraph dist(g, part);
+  EXPECT_TRUE(dist.parts_of(3).empty());
+  EXPECT_EQ(dist.master_of(3), kInvalidPartition);
+  EXPECT_EQ(dist.local(1).num_vertices(), 0u);
+}
+
+TEST(DistributedGraph, RejectsMismatchedPartition) {
+  const Graph g(3, {{0, 1}, {1, 2}});
+  EdgePartition bad{2, {0}};
+  EXPECT_THROW(DistributedGraph(g, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ebv

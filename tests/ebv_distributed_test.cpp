@@ -1,0 +1,94 @@
+// Distributed EBV (the paper's §VII future-work extension): sharded
+// Algorithm 1 with periodically synchronised state.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "partition/ebv.h"
+#include "partition/ebv_distributed.h"
+#include "partition/metrics.h"
+
+namespace ebv {
+namespace {
+
+PartitionConfig config(PartitionId p) {
+  PartitionConfig c;
+  c.num_parts = p;
+  return c;
+}
+
+TEST(DistributedEbv, ValidAndDeterministic) {
+  const Graph g = gen::chung_lu(1000, 8000, 2.3, false, 1);
+  const DistributedEbvPartitioner dist(8, 256);
+  const auto a = dist.partition(g, config(8));
+  const auto b = dist.partition(g, config(8));
+  ASSERT_EQ(a.part_of_edge.size(), g.num_edges());
+  EXPECT_EQ(a.part_of_edge, b.part_of_edge);
+  for (const PartitionId i : a.part_of_edge) EXPECT_LT(i, 8u);
+}
+
+TEST(DistributedEbv, OneShardEqualsOfflineEbv) {
+  // A single partitioning worker with any sync interval processes the
+  // sorted stream exactly like Algorithm 1.
+  const Graph g = gen::chung_lu(600, 5000, 2.4, false, 2);
+  const DistributedEbvPartitioner one_shard(1, 128);
+  const EbvPartitioner offline;
+  EXPECT_EQ(one_shard.partition(g, config(8)).part_of_edge,
+            offline.partition(g, config(8)).part_of_edge);
+}
+
+TEST(DistributedEbv, StaysRoughlyBalancedDespiteStaleness) {
+  // 8 shards × 512-edge sync interval means each worker's view of the
+  // global counters lags by up to ~13% of this graph's edges per round,
+  // so the balance is looser than sequential EBV's ~1.01 — but it must
+  // stay far from the unbalanced regime.
+  const Graph g = gen::chung_lu(3000, 30000, 2.2, false, 3);
+  const DistributedEbvPartitioner dist(8, 512);
+  const auto m = compute_metrics(g, dist.partition(g, config(16)));
+  EXPECT_LT(m.edge_imbalance, 1.25);
+  EXPECT_LT(m.vertex_imbalance, 1.25);
+}
+
+TEST(DistributedEbv, FrequentSyncRestoresTightBalance) {
+  const Graph g = gen::chung_lu(3000, 30000, 2.2, false, 3);
+  const DistributedEbvPartitioner dist(8, 32);
+  const auto m = compute_metrics(g, dist.partition(g, config(16)));
+  EXPECT_LT(m.edge_imbalance, 1.1);
+  EXPECT_LT(m.vertex_imbalance, 1.1);
+}
+
+TEST(DistributedEbv, QualityDegradesGracefullyWithShards) {
+  // More shards = more staleness; replication may rise but must stay
+  // well under the random-assignment ceiling (~p-bounded).
+  const Graph g = gen::chung_lu(2000, 16000, 2.3, false, 4);
+  const EbvPartitioner offline;
+  const double rep_offline =
+      compute_metrics(g, offline.partition(g, config(8))).replication_factor;
+  const DistributedEbvPartitioner dist(16, 64);
+  const double rep_dist =
+      compute_metrics(g, dist.partition(g, config(8))).replication_factor;
+  EXPECT_LT(rep_dist, rep_offline * 1.6);
+}
+
+TEST(DistributedEbv, TighterSyncIsNoWorse) {
+  // Syncing every edge approaches sequential quality; a huge interval
+  // (full staleness) must not be better.
+  const Graph g = gen::chung_lu(2000, 16000, 2.3, false, 5);
+  const DistributedEbvPartitioner tight(8, 16);
+  const DistributedEbvPartitioner loose(8, 1'000'000);
+  const double rep_tight =
+      compute_metrics(g, tight.partition(g, config(8))).replication_factor;
+  const double rep_loose =
+      compute_metrics(g, loose.partition(g, config(8))).replication_factor;
+  EXPECT_LE(rep_tight, rep_loose * 1.05);
+}
+
+TEST(DistributedEbv, RejectsBadParameters) {
+  const Graph g = gen::erdos_renyi(50, 200, 6);
+  EXPECT_THROW(DistributedEbvPartitioner(0, 16).partition(g, config(2)),
+               std::invalid_argument);
+  EXPECT_THROW(DistributedEbvPartitioner(4, 0).partition(g, config(2)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ebv

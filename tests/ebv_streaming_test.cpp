@@ -1,0 +1,100 @@
+// Streaming EBV (the paper's §VII future-work extension): one-pass,
+// bounded-window variant of Algorithm 1.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "partition/ebv.h"
+#include "partition/ebv_streaming.h"
+#include "partition/metrics.h"
+
+namespace ebv {
+namespace {
+
+PartitionConfig config(PartitionId p) {
+  PartitionConfig c;
+  c.num_parts = p;
+  return c;
+}
+
+TEST(StreamingEbv, ValidAndDeterministic) {
+  const Graph g = gen::chung_lu(1000, 8000, 2.3, false, 1);
+  const StreamingEbvPartitioner stream;
+  const auto a = stream.partition(g, config(8));
+  const auto b = stream.partition(g, config(8));
+  ASSERT_EQ(a.part_of_edge.size(), g.num_edges());
+  EXPECT_EQ(a.part_of_edge, b.part_of_edge);
+  for (const PartitionId i : a.part_of_edge) EXPECT_LT(i, 8u);
+}
+
+TEST(StreamingEbv, StaysBalancedLikeOfflineEbv) {
+  const Graph g = gen::chung_lu(3000, 30000, 2.2, false, 2);
+  const StreamingEbvPartitioner stream;
+  const auto m = compute_metrics(g, stream.partition(g, config(16)));
+  // One-pass assignment with partial degree knowledge is slightly looser
+  // than the offline algorithm's ~1.01, but must stay near-balanced.
+  EXPECT_LT(m.edge_imbalance, 1.1);
+  EXPECT_LT(m.vertex_imbalance, 1.1);
+}
+
+TEST(StreamingEbv, WindowImprovesOverWindowOne) {
+  // A window of 1 is plain natural-order streaming; a real window lets the
+  // partitioner mimic the sorted preprocessing and should not be worse.
+  const Graph g = gen::chung_lu(3000, 30000, 2.2, false, 3);
+  const StreamingEbvPartitioner no_window(1);
+  const StreamingEbvPartitioner windowed(4096);
+  const double rep1 =
+      compute_metrics(g, no_window.partition(g, config(16))).replication_factor;
+  const double rep2 =
+      compute_metrics(g, windowed.partition(g, config(16))).replication_factor;
+  EXPECT_LE(rep2, rep1 * 1.02);
+}
+
+TEST(StreamingEbv, CloseToOfflineEbvQuality) {
+  const Graph g = gen::chung_lu(2000, 20000, 2.3, false, 4);
+  const EbvPartitioner offline;
+  const StreamingEbvPartitioner stream(4096);
+  const double rep_offline =
+      compute_metrics(g, offline.partition(g, config(8))).replication_factor;
+  const double rep_stream =
+      compute_metrics(g, stream.partition(g, config(8))).replication_factor;
+  // One-pass with partial degree knowledge costs some quality, but must
+  // stay in the offline algorithm's neighbourhood (well below DBH-level).
+  EXPECT_LT(rep_stream, rep_offline * 1.5);
+}
+
+TEST(StreamingEbv, WindowOneEqualsNaturalOrderOfflineEbv) {
+  // With window == 1, each edge is assigned immediately in stream order —
+  // exactly offline EBV with EdgeOrder::kNatural.
+  const Graph g = gen::chung_lu(800, 6000, 2.4, false, 5);
+  const StreamingEbvPartitioner stream(1);
+  const EbvPartitioner offline;
+  PartitionConfig natural = config(8);
+  natural.edge_order = EdgeOrder::kNatural;
+  EXPECT_EQ(stream.partition(g, config(8)).part_of_edge,
+            offline.partition(g, natural).part_of_edge);
+}
+
+TEST(StreamingEbv, HonoursAlphaBeta) {
+  // At the extremes the hyper-parameters must dominate: near-zero balance
+  // pressure lets the replication-greedy term pile edges up, while heavy
+  // pressure keeps the stream tightly balanced.
+  const Graph g = gen::chung_lu(1000, 8000, 2.2, false, 6);
+  const StreamingEbvPartitioner stream;
+  PartitionConfig heavy = config(8);
+  heavy.alpha = 64.0;
+  heavy.beta = 64.0;
+  PartitionConfig light = config(8);
+  light.alpha = 0.001;
+  light.beta = 0.001;
+  const auto m_heavy = compute_metrics(g, stream.partition(g, heavy));
+  const auto m_light = compute_metrics(g, stream.partition(g, light));
+  // Balance holds in both regimes (even tiny α/β act as the tie-breaker),
+  // but weak pressure must buy a lower replication factor.
+  EXPECT_LT(m_heavy.edge_imbalance, 1.1);
+  EXPECT_LT(m_light.edge_imbalance, 1.1);
+  EXPECT_LT(m_light.replication_factor, m_heavy.replication_factor)
+      << "weak balance pressure trades balance for fewer replicas";
+}
+
+}  // namespace
+}  // namespace ebv

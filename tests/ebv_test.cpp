@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "partition/ebv.h"
+#include "partition/metrics.h"
+
+namespace ebv {
+namespace {
+
+PartitionConfig config(PartitionId p, EdgeOrder order = EdgeOrder::kSortedAscending) {
+  PartitionConfig c;
+  c.num_parts = p;
+  c.edge_order = order;
+  return c;
+}
+
+TEST(Ebv, AssignsEveryEdgeExactlyOnce) {
+  const Graph g = gen::chung_lu(1000, 8000, 2.4, false, 1);
+  const EbvPartitioner ebv;
+  const EdgePartition part = ebv.partition(g, config(8));
+  ASSERT_EQ(part.part_of_edge.size(), g.num_edges());
+  for (const PartitionId i : part.part_of_edge) EXPECT_LT(i, 8u);
+}
+
+TEST(Ebv, SinglePartPutsEverythingInPartZero) {
+  const Graph g = gen::erdos_renyi(100, 500, 2);
+  const EbvPartitioner ebv;
+  const EdgePartition part = ebv.partition(g, config(1));
+  for (const PartitionId i : part.part_of_edge) EXPECT_EQ(i, 0u);
+}
+
+TEST(Ebv, DeterministicUnderFixedConfig) {
+  const Graph g = gen::chung_lu(500, 4000, 2.3, false, 6);
+  const EbvPartitioner ebv;
+  const auto a = ebv.partition(g, config(4));
+  const auto b = ebv.partition(g, config(4));
+  EXPECT_EQ(a.part_of_edge, b.part_of_edge);
+}
+
+TEST(Ebv, TwoEdgeToyExampleSpreadsForBalance) {
+  // Two disjoint edges, two parts: the balance terms must split them.
+  const Graph g(4, {{0, 1}, {2, 3}});
+  const EbvPartitioner ebv;
+  const auto part = ebv.partition(g, config(2, EdgeOrder::kNatural));
+  EXPECT_NE(part.part_of_edge[0], part.part_of_edge[1]);
+}
+
+TEST(Ebv, SharedVertexEdgesStickTogetherWhenBalanceIsWeak) {
+  // A path 0-1-2 plus a far-away edge, with small α/β so the replication
+  // term dominates: the path edges share vertex 1 and must colocate, and
+  // the residual balance pressure pushes the third edge to the other part.
+  const Graph g(5, {{0, 1}, {1, 2}, {3, 4}});
+  const EbvPartitioner ebv;
+  PartitionConfig c = config(2, EdgeOrder::kNatural);
+  c.alpha = 0.1;
+  c.beta = 0.1;
+  const auto part = ebv.partition(g, c);
+  EXPECT_EQ(part.part_of_edge[0], part.part_of_edge[1]);
+  EXPECT_NE(part.part_of_edge[0], part.part_of_edge[2]);
+}
+
+TEST(Ebv, DefaultWeightsPreferBalanceOverOneSharedVertex) {
+  // With the paper's default α = β = 1 the balance terms outweigh saving a
+  // single replica: the second path edge moves to the empty part.
+  const Graph g(5, {{0, 1}, {1, 2}, {3, 4}});
+  const EbvPartitioner ebv;
+  const auto part = ebv.partition(g, config(2, EdgeOrder::kNatural));
+  EXPECT_NE(part.part_of_edge[0], part.part_of_edge[1]);
+}
+
+TEST(Ebv, PaperFigure1SortedAssignsBCWithoutExtraCuts) {
+  // With the sorting preprocessing, (B,C) lands with (A,B)/(A,C)'s
+  // counterpart subgraph structure such that only vertex A is cut —
+  // replication factor (|V0|+|V1|)/|V| = 7/6 as in the paper's left panel.
+  const Graph g = gen::figure1_graph();
+  const EbvPartitioner ebv;
+  const auto part = ebv.partition(g, config(2, EdgeOrder::kSortedAscending));
+  const auto m = compute_metrics(g, part);
+  EXPECT_EQ(m.total_replicas, 7u) << "exactly one vertex should be cut";
+  EXPECT_EQ(m.edges_per_part[0], 3u);
+  EXPECT_EQ(m.edges_per_part[1], 3u);
+}
+
+TEST(Ebv, SortedNeverWorseThanUnsortedOnFigure1) {
+  const Graph g = gen::figure1_graph();
+  const EbvPartitioner ebv;
+  const auto sorted = ebv.partition(g, config(2, EdgeOrder::kSortedAscending));
+  const auto natural = ebv.partition(g, config(2, EdgeOrder::kNatural));
+  EXPECT_LE(compute_metrics(g, sorted).total_replicas,
+            compute_metrics(g, natural).total_replicas);
+}
+
+TEST(Ebv, BalancedOnPowerLawGraph) {
+  const Graph g = gen::chung_lu(2000, 20000, 2.2, false, 3);
+  const EbvPartitioner ebv;
+  const auto part = ebv.partition(g, config(8));
+  const auto m = compute_metrics(g, part);
+  EXPECT_LT(m.edge_imbalance, 1.05);
+  EXPECT_LT(m.vertex_imbalance, 1.05);
+}
+
+TEST(Ebv, SortingReducesReplicationOnPowerLaw) {
+  const Graph g = gen::chung_lu(3000, 30000, 2.2, false, 4);
+  const EbvPartitioner ebv;
+  const auto sorted = ebv.partition(g, config(16, EdgeOrder::kSortedAscending));
+  const auto unsorted = ebv.partition(g, config(16, EdgeOrder::kRandom));
+  EXPECT_LT(compute_metrics(g, sorted).replication_factor,
+            compute_metrics(g, unsorted).replication_factor);
+}
+
+TEST(Ebv, LargeAlphaTightensEdgeBalanceUnderAdversarialOrder) {
+  // Descending order front-loads hub edges; a large alpha must still keep
+  // edge counts essentially equal.
+  const Graph g = gen::chung_lu(2000, 15000, 2.0, false, 9);
+  PartitionConfig c = config(8, EdgeOrder::kSortedDescending);
+  c.alpha = 16.0;
+  c.beta = 0.0;
+  const EbvPartitioner ebv;
+  const auto m = compute_metrics(g, ebv.partition(g, c));
+  EXPECT_LT(m.edge_imbalance, 1.01);
+}
+
+TEST(Ebv, ZeroAlphaBetaDegeneratesToGreedyReplicationOnly) {
+  // With no balance pressure every edge chases keep[] overlap; the result
+  // must still be a valid partition.
+  const Graph g = gen::chung_lu(500, 3000, 2.3, false, 2);
+  PartitionConfig c = config(4);
+  c.alpha = 0.0;
+  c.beta = 0.0;
+  const EbvPartitioner ebv;
+  const auto part = ebv.partition(g, c);
+  const auto m = compute_metrics(g, part);
+  // Isolated vertices are never covered, so the factor can dip below 1.
+  EXPECT_GT(m.replication_factor, 0.5);
+  EXPECT_LE(m.replication_factor, 4.0);
+}
+
+TEST(Ebv, TraceIsRecordedAndMonotoneInEdgesProcessed) {
+  const Graph g = gen::chung_lu(1000, 8000, 2.4, false, 5);
+  const EbvPartitioner ebv;
+  std::vector<GrowthSample> trace;
+  (void)ebv.partition_traced(g, config(8), 50, trace);
+  ASSERT_GE(trace.size(), 10u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace[i].edges_processed, trace[i - 1].edges_processed);
+    EXPECT_GE(trace[i].replication_factor, trace[i - 1].replication_factor)
+        << "replication factor only grows as edges are assigned";
+  }
+  EXPECT_EQ(trace.back().edges_processed, g.num_edges());
+}
+
+TEST(Ebv, TraceFinalValueMatchesMetrics) {
+  const Graph g = gen::chung_lu(800, 6000, 2.4, false, 8);
+  const EbvPartitioner ebv;
+  std::vector<GrowthSample> trace;
+  const auto part = ebv.partition_traced(g, config(4), 20, trace);
+  const auto m = compute_metrics(g, part);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_NEAR(trace.back().replication_factor, m.replication_factor, 1e-12);
+}
+
+TEST(Ebv, NameIsStable) {
+  EXPECT_EQ(EbvPartitioner().name(), "ebv");
+}
+
+}  // namespace
+}  // namespace ebv

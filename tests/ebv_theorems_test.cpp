@@ -1,0 +1,126 @@
+// Property tests for the paper's Theorems 1 and 2: the realised edge and
+// vertex imbalance factors of EBV never exceed the closed-form worst-case
+// bounds, across graph families × part counts × (α, β) settings.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/generators.h"
+#include "partition/ebv.h"
+#include "partition/metrics.h"
+
+namespace ebv {
+namespace {
+
+struct Case {
+  std::string graph_family;
+  PartitionId parts;
+  double alpha;
+  double beta;
+  EdgeOrder order;
+};
+
+std::string case_name(const testing::TestParamInfo<Case>& info) {
+  const Case& c = info.param;
+  std::string order;
+  switch (c.order) {
+    case EdgeOrder::kSortedAscending: order = "asc"; break;
+    case EdgeOrder::kSortedDescending: order = "desc"; break;
+    case EdgeOrder::kNatural: order = "nat"; break;
+    case EdgeOrder::kRandom: order = "rand"; break;
+  }
+  return c.graph_family + "_p" + std::to_string(c.parts) + "_a" +
+         std::to_string(static_cast<int>(c.alpha * 100)) + "_b" +
+         std::to_string(static_cast<int>(c.beta * 100)) + "_" + order;
+}
+
+Graph make_graph(const std::string& family) {
+  if (family == "powerlaw") return gen::chung_lu(1500, 12000, 2.2, false, 11);
+  if (family == "uniform") return gen::erdos_renyi(1500, 12000, 11);
+  if (family == "road") return gen::road_grid(40, 40, 0.9, 11);
+  if (family == "ba") return gen::barabasi_albert(1500, 4, 11);
+  ADD_FAILURE() << "unknown family " << family;
+  return Graph();
+}
+
+class EbvTheorems : public testing::TestWithParam<Case> {};
+
+TEST_P(EbvTheorems, ImbalanceFactorsRespectUpperBounds) {
+  const Case& c = GetParam();
+  const Graph g = make_graph(c.graph_family);
+  PartitionConfig config;
+  config.num_parts = c.parts;
+  config.alpha = c.alpha;
+  config.beta = c.beta;
+  config.edge_order = c.order;
+
+  const EbvPartitioner ebv;
+  const EdgePartition part = ebv.partition(g, config);
+  const PartitionMetrics m = compute_metrics(g, part);
+
+  const double edge_bound = EbvPartitioner::edge_imbalance_bound(g, config);
+  const double vertex_bound =
+      EbvPartitioner::vertex_imbalance_bound(g, config, m.total_replicas);
+
+  EXPECT_LE(m.edge_imbalance, edge_bound + 1e-9)
+      << "Theorem 1 violated: " << m.edge_imbalance << " > " << edge_bound;
+  EXPECT_LE(m.vertex_imbalance, vertex_bound + 1e-9)
+      << "Theorem 2 violated: " << m.vertex_imbalance << " > " << vertex_bound;
+
+  // Bounds are nontrivial (>= 1) by construction.
+  EXPECT_GE(edge_bound, 1.0);
+  EXPECT_GE(vertex_bound, 1.0);
+}
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  for (const std::string family : {"powerlaw", "uniform", "road", "ba"}) {
+    for (const PartitionId p : {2u, 4u, 8u, 16u}) {
+      cases.push_back({family, p, 1.0, 1.0, EdgeOrder::kSortedAscending});
+    }
+  }
+  // Hyper-parameter sweep on the power-law family. (α=1, β=1, p=8 is
+  // already covered by the family sweep above.)
+  for (const double alpha : {0.25, 1.0, 4.0}) {
+    for (const double beta : {0.25, 1.0, 4.0}) {
+      if (alpha == 1.0 && beta == 1.0) continue;
+      cases.push_back({"powerlaw", 8, alpha, beta, EdgeOrder::kSortedAscending});
+    }
+  }
+  // Adversarial orders must also respect the worst-case bounds.
+  for (const EdgeOrder order :
+       {EdgeOrder::kNatural, EdgeOrder::kRandom, EdgeOrder::kSortedDescending}) {
+    cases.push_back({"powerlaw", 8, 1.0, 1.0, order});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EbvTheorems, testing::ValuesIn(make_cases()),
+                         case_name);
+
+TEST(EbvTheoremBounds, TighterWithLargerAlpha) {
+  const Graph g = gen::chung_lu(1000, 8000, 2.3, false, 1);
+  PartitionConfig loose;
+  loose.num_parts = 8;
+  loose.alpha = 0.5;
+  PartitionConfig tight = loose;
+  tight.alpha = 8.0;
+  EXPECT_LT(EbvPartitioner::edge_imbalance_bound(g, tight),
+            EbvPartitioner::edge_imbalance_bound(g, loose));
+}
+
+TEST(EbvTheoremBounds, RequirePositiveHyperparameters) {
+  const Graph g = gen::erdos_renyi(100, 400, 1);
+  PartitionConfig c;
+  c.num_parts = 4;
+  c.alpha = 0.0;
+  EXPECT_THROW(EbvPartitioner::edge_imbalance_bound(g, c),
+               std::invalid_argument);
+  c.alpha = 1.0;
+  c.beta = 0.0;
+  EXPECT_THROW(EbvPartitioner::vertex_imbalance_bound(g, c, 100),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ebv

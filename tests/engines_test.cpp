@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "apps/reference.h"
+#include "engines/blogel.h"
+#include "engines/smp_engine.h"
+#include "graph/generators.h"
+#include "partition/metrics.h"
+
+namespace ebv {
+namespace {
+
+using engines::SmpEngine;
+using engines::VoronoiPartitioner;
+
+TEST(SmpEngine, CcMatchesReference) {
+  const Graph g = gen::chung_lu(400, 2500, 2.3, false, 1);
+  const SmpEngine engine;
+  const auto result = engine.connected_components(g);
+  const auto expected = apps::cc_reference(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(result.values[v], static_cast<double>(expected[v]));
+  }
+  EXPECT_GT(result.rounds, 0u);
+  EXPECT_GT(result.execution_seconds, 0.0);
+}
+
+TEST(SmpEngine, SsspMatchesReference) {
+  const Graph g = gen::road_grid(20, 20, 0.9, 2);
+  const SmpEngine engine;
+  const auto result = engine.sssp(g, 0);
+  const auto expected = apps::sssp_reference(g, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (std::isinf(expected[v])) {
+      EXPECT_TRUE(std::isinf(result.values[v]));
+    } else {
+      EXPECT_NEAR(result.values[v], expected[v], 1e-4);
+    }
+  }
+}
+
+TEST(SmpEngine, PageRankMatchesReference) {
+  const Graph g = gen::chung_lu(300, 2000, 2.4, false, 3);
+  const SmpEngine engine;
+  const auto result = engine.pagerank(g, 15);
+  const auto expected = apps::pagerank_reference(g, 15);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(result.values[v], expected[v], 1e-12);
+  }
+}
+
+TEST(SmpEngine, MoreThreadsAreFasterUpToTheNodeCap) {
+  const Graph g = gen::chung_lu(500, 4000, 2.3, false, 4);
+  SmpEngine::Options one;
+  one.threads = 1;
+  SmpEngine::Options eight;
+  eight.threads = 8;
+  SmpEngine::Options sixty_four;
+  sixty_four.threads = 64;  // clamped to max_cores = 8
+  const double t1 = SmpEngine(one).connected_components(g).execution_seconds;
+  const double t8 = SmpEngine(eight).connected_components(g).execution_seconds;
+  const double t64 =
+      SmpEngine(sixty_four).connected_components(g).execution_seconds;
+  EXPECT_LT(t8, t1);
+  EXPECT_DOUBLE_EQ(t8, t64) << "a shared-memory engine cannot leave its node";
+}
+
+TEST(SmpEngine, RejectsZeroThreads) {
+  SmpEngine::Options opts;
+  opts.threads = 0;
+  EXPECT_THROW(SmpEngine{opts}, std::invalid_argument);
+}
+
+TEST(Voronoi, ProducesValidPartition) {
+  const Graph g = gen::chung_lu(600, 5000, 2.3, false, 5);
+  const VoronoiPartitioner voronoi;
+  PartitionConfig c;
+  c.num_parts = 6;
+  const auto part = voronoi.partition(g, c);
+  ASSERT_EQ(part.part_of_edge.size(), g.num_edges());
+  for (const PartitionId i : part.part_of_edge) EXPECT_LT(i, 6u);
+}
+
+TEST(Voronoi, BlocksKeepSourceLocality) {
+  // Edge partition follows the source vertex's block, so all out-edges of
+  // a vertex land on one worker.
+  const Graph g = gen::erdos_renyi(300, 2000, 6);
+  const VoronoiPartitioner voronoi;
+  PartitionConfig c;
+  c.num_parts = 4;
+  const auto part = voronoi.partition(g, c);
+  std::vector<std::set<PartitionId>> parts_of_src(g.num_vertices());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    parts_of_src[g.edge(e).src].insert(part.part_of_edge[e]);
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(parts_of_src[v].size(), 1u);
+  }
+}
+
+TEST(Voronoi, RoughVertexBalanceOnRoadGraph) {
+  const Graph g = gen::road_grid(40, 40, 0.95, 7);
+  const VoronoiPartitioner voronoi;
+  PartitionConfig c;
+  c.num_parts = 4;
+  const auto m = compute_metrics(g, voronoi.partition(g, c));
+  EXPECT_LT(m.vertex_imbalance, 1.7);
+}
+
+TEST(Voronoi, PrecomputeCostScalesWithGraphAndWorkers) {
+  const Graph small = gen::erdos_renyi(100, 500, 8);
+  const Graph big = gen::erdos_renyi(1000, 5000, 8);
+  const bsp::ClusterCostModel cost;
+  EXPECT_LT(VoronoiPartitioner::precompute_seconds(small, 4, cost),
+            VoronoiPartitioner::precompute_seconds(big, 4, cost));
+  EXPECT_GT(VoronoiPartitioner::precompute_seconds(big, 2, cost),
+            VoronoiPartitioner::precompute_seconds(big, 8, cost));
+}
+
+TEST(Voronoi, DeterministicUnderSeed) {
+  const Graph g = gen::chung_lu(400, 3000, 2.4, false, 9);
+  const VoronoiPartitioner voronoi;
+  PartitionConfig c;
+  c.num_parts = 4;
+  const auto a = voronoi.partition(g, c);
+  const auto b = voronoi.partition(g, c);
+  EXPECT_EQ(a.part_of_edge, b.part_of_edge);
+}
+
+}  // namespace
+}  // namespace ebv

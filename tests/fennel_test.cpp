@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "partition/fennel.h"
+#include "partition/metrics.h"
+#include "partition/registry.h"
+
+namespace ebv {
+namespace {
+
+PartitionConfig config(PartitionId p) {
+  PartitionConfig c;
+  c.num_parts = p;
+  return c;
+}
+
+TEST(Fennel, PlacesEveryVertex) {
+  const Graph g = gen::chung_lu(800, 6000, 2.3, false, 1);
+  const FennelPartitioner fennel;
+  const auto placed = fennel.partition_vertices(g, config(6));
+  ASSERT_EQ(placed.size(), g.num_vertices());
+  for (const PartitionId i : placed) EXPECT_LT(i, 6u);
+}
+
+TEST(Fennel, RespectsLoadCap) {
+  const Graph g = gen::chung_lu(2000, 16000, 2.2, false, 2);
+  const FennelPartitioner fennel;
+  const auto placed = fennel.partition_vertices(g, config(8));
+  std::vector<std::uint64_t> load(8, 0);
+  for (const PartitionId i : placed) ++load[i];
+  const auto max_load = *std::max_element(load.begin(), load.end());
+  EXPECT_LE(static_cast<double>(max_load), 1.1 * 2000.0 / 8 + 1.0);
+}
+
+TEST(Fennel, EdgeCutReplicationBelowTwoAndAboveRandom) {
+  const Graph g = gen::chung_lu(2000, 16000, 2.3, false, 3);
+  const FennelPartitioner fennel;
+  const auto placed = fennel.partition_vertices(g, config(8));
+  const auto m = compute_edge_cut_metrics(g, placed, 8);
+  EXPECT_LE(m.replication_factor, 2.0);
+  // Locality-aware placement must beat a random vertex assignment.
+  std::vector<PartitionId> random_placed(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    random_placed[v] = static_cast<PartitionId>(v % 8);
+  }
+  const auto random_m = compute_edge_cut_metrics(g, random_placed, 8);
+  EXPECT_LT(m.replication_factor, random_m.replication_factor);
+}
+
+TEST(Fennel, EdgeProjectionFollowsSource) {
+  const Graph g = gen::erdos_renyi(300, 1500, 4);
+  const FennelPartitioner fennel;
+  const auto placed = fennel.partition_vertices(g, config(4));
+  const auto edges = fennel.partition(g, config(4));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(edges.part_of_edge[e], placed[g.edge(e).src]);
+  }
+}
+
+TEST(Fennel, RegisteredInRegistry) {
+  EXPECT_EQ(make_partitioner("fennel")->name(), "fennel");
+  const auto& all = all_partitioners();
+  EXPECT_NE(std::find(all.begin(), all.end(), "fennel"), all.end());
+}
+
+}  // namespace
+}  // namespace ebv

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "graph/stats.h"
+
+namespace ebv {
+namespace {
+
+TEST(Generators, ChungLuBasicShape) {
+  const Graph g = gen::chung_lu(2000, 20000, 2.5, false, 1);
+  EXPECT_EQ(g.num_vertices(), 2000u);
+  EXPECT_GT(g.num_edges(), 15000u);
+  EXPECT_LE(g.num_edges(), 20000u);
+}
+
+TEST(Generators, ChungLuDeterministicUnderSeed) {
+  const Graph a = gen::chung_lu(500, 3000, 2.5, false, 9);
+  const Graph b = gen::chung_lu(500, 3000, 2.5, false, 9);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) EXPECT_EQ(a.edge(e), b.edge(e));
+  const Graph c = gen::chung_lu(500, 3000, 2.5, false, 10);
+  EXPECT_NE(a.num_edges() == c.num_edges() &&
+                std::equal(a.edges().begin(), a.edges().end(),
+                           c.edges().begin()),
+            true);
+}
+
+TEST(Generators, ChungLuUndirectedEmitsBothDirections) {
+  const Graph g = gen::chung_lu(500, 4000, 2.5, true, 3);
+  std::set<std::pair<VertexId, VertexId>> edges;
+  for (const Edge& e : g.edges()) edges.insert({e.src, e.dst});
+  for (const Edge& e : g.edges()) {
+    EXPECT_TRUE(edges.count({e.dst, e.src}))
+        << "missing reverse of " << e.src << "->" << e.dst;
+  }
+}
+
+TEST(Generators, ChungLuSkewTracksExponent) {
+  // A lower η must produce a more skewed degree distribution.
+  const Graph skewed = gen::chung_lu(5000, 50000, 2.0, false, 4);
+  const Graph mild = gen::chung_lu(5000, 50000, 3.5, false, 4);
+  const GraphStats s1 = compute_stats(skewed);
+  const GraphStats s2 = compute_stats(mild);
+  EXPECT_GT(s1.max_total_degree, s2.max_total_degree);
+  EXPECT_LT(s1.eta, s2.eta);
+}
+
+TEST(Generators, ChungLuNoSelfLoopsNoDuplicates) {
+  const Graph g = gen::chung_lu(300, 2000, 2.2, false, 5);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const Edge& e : g.edges()) {
+    EXPECT_NE(e.src, e.dst);
+    const auto key = std::minmax(e.src, e.dst);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second);
+  }
+}
+
+TEST(Generators, ChungLuRejectsBadArguments) {
+  EXPECT_THROW(gen::chung_lu(1, 10, 2.5, false, 0), std::invalid_argument);
+  EXPECT_THROW(gen::chung_lu(10, 10, 0.9, false, 0), std::invalid_argument);
+}
+
+TEST(Generators, RmatShape) {
+  const Graph g = gen::rmat(1024, 8000, 0.57, 0.19, 0.19, 2);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_GT(g.num_edges(), 6000u);
+  const GraphStats s = compute_stats(g);
+  EXPECT_GT(s.max_total_degree, 50u) << "R-MAT should produce hubs";
+}
+
+TEST(Generators, RmatRejectsNonPowerOfTwo) {
+  EXPECT_THROW(gen::rmat(1000, 100, 0.57, 0.19, 0.19, 0),
+               std::invalid_argument);
+  EXPECT_THROW(gen::rmat(1024, 100, 0.5, 0.3, 0.3, 0), std::invalid_argument);
+}
+
+TEST(Generators, BarabasiAlbertDegrees) {
+  const Graph g = gen::barabasi_albert(1000, 3, 6);
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  // Undirected: every vertex beyond the seed clique attaches >= 3 edges.
+  for (VertexId v = 4; v < g.num_vertices(); ++v) {
+    EXPECT_GE(g.degree(v), 6u);  // both directions counted
+  }
+  const GraphStats s = compute_stats(g);
+  EXPECT_GT(s.max_total_degree, 30u);
+}
+
+TEST(Generators, ErdosRenyiUniformity) {
+  const Graph g = gen::erdos_renyi(1000, 10000, 11);
+  EXPECT_EQ(g.num_edges(), 10000u);
+  const GraphStats s = compute_stats(g);
+  // ER has a light tail: max degree close to the mean.
+  EXPECT_LT(s.max_total_degree, 60u);
+}
+
+TEST(Generators, RoadGridIsSparseAndWeighted) {
+  const Graph g = gen::road_grid(50, 50, 0.95, 13);
+  EXPECT_EQ(g.num_vertices(), 2500u);
+  EXPECT_TRUE(g.has_weights());
+  const GraphStats s = compute_stats(g);
+  EXPECT_LE(s.max_total_degree, 14u) << "road networks have bounded degree";
+  EXPECT_GT(s.num_edges, 8000u);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_GE(g.weight(e), 1.0f);
+    EXPECT_LE(g.weight(e), 10.0f);
+  }
+}
+
+TEST(Generators, RoadGridUndirected) {
+  const Graph g = gen::road_grid(10, 10, 1.0, 1);
+  std::multiset<std::pair<VertexId, VertexId>> edges;
+  for (const Edge& e : g.edges()) edges.insert({e.src, e.dst});
+  for (const Edge& e : g.edges()) {
+    EXPECT_TRUE(edges.count({e.dst, e.src}) > 0);
+  }
+}
+
+TEST(Generators, Figure1GraphMatchesPaper) {
+  const Graph g = gen::figure1_graph();
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  // A (=0) is the high-degree vertex of the example.
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(3), 1u);  // D
+}
+
+TEST(Generators, PowerLawEtaOrderingAcrossFamilies) {
+  // Road grids are nearly regular (huge estimated η); Chung-Lu social
+  // stand-ins are heavy-tailed (small η).
+  const Graph road = gen::road_grid(60, 60, 0.92, 3);
+  const Graph social = gen::chung_lu(3600, 40000, 2.2, false, 3);
+  EXPECT_GT(estimate_power_law_exponent(road),
+            estimate_power_law_exponent(social));
+}
+
+}  // namespace
+}  // namespace ebv

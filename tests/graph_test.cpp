@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+
+namespace ebv {
+namespace {
+
+Graph triangle() {
+  return Graph(3, {{0, 1}, {1, 2}, {2, 0}});
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.average_degree(), 0.0);
+}
+
+TEST(Graph, DegreesAreComputed) {
+  const Graph g = triangle();
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_EQ(g.out_degree(v), 1u);
+    EXPECT_EQ(g.in_degree(v), 1u);
+    EXPECT_EQ(g.degree(v), 2u);
+  }
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.0);
+}
+
+TEST(Graph, SkewedDegrees) {
+  // Star: 0 -> {1,2,3,4}.
+  const Graph g(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  EXPECT_EQ(g.out_degree(0), 4u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+  EXPECT_EQ(g.degree(0), 4u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoint) {
+  EXPECT_THROW(Graph(2, {{0, 2}}), std::invalid_argument);
+  EXPECT_THROW(Graph(2, {{5, 0}}), std::invalid_argument);
+}
+
+TEST(Graph, WeightsDefaultToOne) {
+  const Graph g = triangle();
+  EXPECT_FALSE(g.has_weights());
+  EXPECT_FLOAT_EQ(g.weight(0), 1.0f);
+}
+
+TEST(Graph, ExplicitWeights) {
+  const Graph g(3, {{0, 1}, {1, 2}}, {2.5f, 0.5f});
+  EXPECT_TRUE(g.has_weights());
+  EXPECT_FLOAT_EQ(g.weight(0), 2.5f);
+  EXPECT_FLOAT_EQ(g.weight(1), 0.5f);
+}
+
+TEST(Graph, RejectsMismatchedWeights) {
+  EXPECT_THROW(Graph(3, {{0, 1}, {1, 2}}, {1.0f}), std::invalid_argument);
+}
+
+TEST(Graph, NameRoundTrip) {
+  Graph g = triangle();
+  EXPECT_TRUE(g.name().empty());
+  g.set_name("demo");
+  EXPECT_EQ(g.name(), "demo");
+}
+
+TEST(Graph, EdgeAccessors) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.edge(0), (Edge{0, 1}));
+  EXPECT_EQ(g.edges().size(), 3u);
+}
+
+TEST(Graph, SelfLoopCountsBothDirections) {
+  const Graph g(2, {{1, 1}});
+  EXPECT_EQ(g.out_degree(1), 1u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+}  // namespace
+}  // namespace ebv

@@ -1,0 +1,131 @@
+// End-to-end expectations mirroring the paper's headline claims, at test
+// scale: partition quality orderings (Table III), message-count orderings
+// (Tables IV/V) and the sorting ablation (Fig. 5).
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "analysis/message_stats.h"
+#include "apps/reference.h"
+#include "graph/generators.h"
+#include "partition/ebv.h"
+#include "partition/metrics.h"
+#include "partition/registry.h"
+
+namespace ebv {
+namespace {
+
+using analysis::App;
+
+PartitionConfig config(PartitionId p) {
+  PartitionConfig c;
+  c.num_parts = p;
+  return c;
+}
+
+TEST(Integration, EbvBeatsSelfBasedBaselinesOnReplication) {
+  // Paper §Abstract: EBV reduces the replication factor vs. the other
+  // self-based algorithms (Ginger, DBH, CVC) on power-law graphs.
+  const Graph g = gen::chung_lu(4000, 40000, 2.2, false, 21);
+  const auto ebv = compute_metrics(g, make_partitioner("ebv")->partition(g, config(16)));
+  for (const std::string name : {"ginger", "dbh", "cvc", "random"}) {
+    const auto other =
+        compute_metrics(g, make_partitioner(name)->partition(g, config(16)));
+    EXPECT_LT(ebv.replication_factor, other.replication_factor)
+        << "ebv vs " << name;
+  }
+}
+
+TEST(Integration, EbvBalancedWhileLocalBasedAreNot) {
+  // Paper Table III: EBV/Ginger/DBH/CVC ~1.00 imbalance; NE blows up
+  // vertex imbalance and METIS edge imbalance on skewed graphs.
+  const Graph g = gen::chung_lu(4000, 40000, 2.0, false, 22);
+  const auto ebv = compute_metrics(g, make_partitioner("ebv")->partition(g, config(16)));
+  const auto ne = compute_metrics(g, make_partitioner("ne")->partition(g, config(16)));
+  const auto metis =
+      compute_metrics(g, make_partitioner("metis")->partition(g, config(16)));
+  EXPECT_LT(ebv.edge_imbalance, 1.05);
+  EXPECT_LT(ebv.vertex_imbalance, 1.05);
+  EXPECT_GT(ne.vertex_imbalance, ebv.vertex_imbalance * 1.2);
+  EXPECT_GT(metis.edge_imbalance, ebv.edge_imbalance * 1.2);
+}
+
+TEST(Integration, LocalBasedHaveLowerReplicationButWorseMessageBalance) {
+  // Paper Tables IV/V: NE/METIS send fewer messages in total but with a
+  // much worse max/mean ratio on power-law graphs.
+  const auto d = analysis::make_livejournal_sim(0.1, 23);
+  const auto ebv = analysis::run_experiment(d.graph, "ebv", 8, App::kCC);
+  const auto metis = analysis::run_experiment(d.graph, "metis", 8, App::kCC);
+  const auto s_ebv = analysis::compute_message_stats(ebv.run);
+  const auto s_metis = analysis::compute_message_stats(metis.run);
+  EXPECT_LT(s_ebv.max_over_mean, 1.3) << "EBV messages are balanced";
+  EXPECT_GT(s_metis.max_over_mean, s_ebv.max_over_mean);
+}
+
+TEST(Integration, EbvSendsFewerMessagesThanOtherSelfBased) {
+  const auto d = analysis::make_livejournal_sim(0.08, 24);
+  const auto ebv = analysis::run_experiment(d.graph, "ebv", 8, App::kCC);
+  for (const std::string name : {"dbh", "cvc"}) {
+    const auto other = analysis::run_experiment(d.graph, name, 8, App::kCC);
+    EXPECT_LT(ebv.run.total_messages, other.run.total_messages)
+        << "ebv vs " << name;
+  }
+}
+
+TEST(Integration, SortingAblationReducesReplicationAtScale) {
+  // Fig. 5: EBV-sort ends below EBV-unsort, and the margin grows with p.
+  const Graph g = gen::chung_lu(5000, 50000, 2.2, false, 25);
+  const EbvPartitioner ebv;
+  auto rep = [&](PartitionId p, EdgeOrder order) {
+    PartitionConfig c = config(p);
+    c.edge_order = order;
+    return compute_metrics(g, ebv.partition(g, c)).replication_factor;
+  };
+  const double sorted4 = rep(4, EdgeOrder::kSortedAscending);
+  const double natural4 = rep(4, EdgeOrder::kNatural);
+  const double sorted32 = rep(32, EdgeOrder::kSortedAscending);
+  const double natural32 = rep(32, EdgeOrder::kNatural);
+  EXPECT_LT(sorted4, natural4);
+  EXPECT_LT(sorted32, natural32);
+  EXPECT_GT(natural32 - sorted32, natural4 - sorted4)
+      << "margin grows with the number of subgraphs";
+}
+
+TEST(Integration, AllAppsAgreeWithReferencesOnStandardDatasets) {
+  // Cross-check the whole pipeline on miniature versions of all four
+  // stand-ins with the paper's flagship partitioner.
+  for (const auto& d : analysis::standard_datasets(0.03, 26)) {
+    const auto cc = analysis::run_experiment(d.graph, "ebv", 6, App::kCC);
+    const auto expected = apps::cc_reference(d.graph);
+    for (VertexId v = 0; v < d.graph.num_vertices(); ++v) {
+      ASSERT_EQ(cc.run.values[v], static_cast<double>(expected[v]))
+          << d.name << " v=" << v;
+    }
+  }
+}
+
+TEST(Integration, SubgraphCentricUsesFewSupersteps) {
+  // Local convergence per superstep keeps the global superstep count tiny
+  // compared with one-hop-per-step vertex-centric execution.
+  const auto d = analysis::make_livejournal_sim(0.05, 27);
+  const auto result = analysis::run_experiment(d.graph, "ebv", 8, App::kCC);
+  EXPECT_LE(result.run.supersteps, 12u);
+}
+
+TEST(Integration, MessageCountsScaleWithReplicationAcrossPartitioners) {
+  // Table IV's observation: total CC messages track the replication
+  // factor. Verify rank correlation over the self-based algorithms.
+  const auto d = analysis::make_livejournal_sim(0.06, 28);
+  std::vector<std::pair<double, std::uint64_t>> points;
+  for (const std::string name : {"ebv", "ginger", "dbh", "cvc", "random"}) {
+    const auto r = analysis::run_experiment(d.graph, name, 8, App::kCC);
+    points.push_back({r.metrics.replication_factor, r.run.total_messages});
+  }
+  std::sort(points.begin(), points.end());
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i - 1].second, points[i].second * 3 / 2)
+        << "messages should not collapse as replication grows";
+  }
+}
+
+}  // namespace
+}  // namespace ebv

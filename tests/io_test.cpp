@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace ebv {
+namespace {
+
+void expect_same(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e), b.edge(e));
+    EXPECT_FLOAT_EQ(a.weight(e), b.weight(e));
+  }
+}
+
+TEST(Io, TextRoundTrip) {
+  const Graph g = gen::erdos_renyi(100, 400, 17);
+  std::stringstream ss;
+  io::write_edge_list(ss, g);
+  const Graph back = io::read_edge_list(ss);
+  expect_same(g, back);
+}
+
+TEST(Io, TextRoundTripWithWeights) {
+  const Graph g = gen::road_grid(8, 8, 1.0, 3);
+  std::stringstream ss;
+  io::write_edge_list(ss, g);
+  const Graph back = io::read_edge_list(ss);
+  ASSERT_TRUE(back.has_weights());
+  expect_same(g, back);
+}
+
+TEST(Io, TextSkipsCommentsAndBlanks) {
+  std::stringstream ss("# comment\n\n0 1\n# another\n1 2\n");
+  const Graph g = io::read_edge_list(ss);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_vertices(), 3u);
+}
+
+TEST(Io, TextRejectsMalformedLine) {
+  std::stringstream ss("0 1\nnot an edge\n");
+  EXPECT_THROW(io::read_edge_list(ss), std::runtime_error);
+}
+
+TEST(Io, TextHonoursBuilderOptions) {
+  std::stringstream ss("0 0\n0 1\n0 1\n");
+  GraphBuilder::Options opts;
+  opts.deduplicate = true;
+  const Graph g = io::read_edge_list(ss, opts);
+  EXPECT_EQ(g.num_edges(), 1u);  // self-loop dropped + duplicate removed
+}
+
+TEST(Io, BinaryRoundTrip) {
+  Graph g = gen::chung_lu(300, 2500, 2.4, false, 5);
+  g.set_name("round-trip");
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_binary(ss, g);
+  const Graph back = io::read_binary(ss);
+  EXPECT_EQ(back.name(), "round-trip");
+  expect_same(g, back);
+}
+
+TEST(Io, BinaryRoundTripWithWeights) {
+  const Graph g = gen::road_grid(12, 12, 0.9, 8);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_binary(ss, g);
+  const Graph back = io::read_binary(ss);
+  ASSERT_TRUE(back.has_weights());
+  expect_same(g, back);
+}
+
+TEST(Io, BinaryRejectsBadMagic) {
+  std::stringstream ss("NOPE....................");
+  EXPECT_THROW(io::read_binary(ss), std::runtime_error);
+}
+
+TEST(Io, BinaryRejectsTruncation) {
+  const Graph g = gen::erdos_renyi(50, 100, 2);
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_binary(full, g);
+  const std::string bytes = full.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2),
+                              std::ios::in | std::ios::binary);
+  EXPECT_THROW(io::read_binary(truncated), std::runtime_error);
+}
+
+TEST(Io, FileRoundTrip) {
+  const Graph g = gen::erdos_renyi(60, 150, 4);
+  const std::string path = testing::TempDir() + "/ebv_io_test.bin";
+  io::write_binary_file(path, g);
+  const Graph back = io::read_binary_file(path);
+  expect_same(g, back);
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(io::read_binary_file("/nonexistent/path/x.bin"),
+               std::runtime_error);
+  EXPECT_THROW(io::read_edge_list_file("/nonexistent/path/x.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ebv

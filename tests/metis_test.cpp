@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "partition/metis_like.h"
+#include "partition/metrics.h"
+
+namespace ebv {
+namespace {
+
+PartitionConfig config(PartitionId p) {
+  PartitionConfig c;
+  c.num_parts = p;
+  return c;
+}
+
+TEST(MetisLike, VertexPartitionCoversAllVertices) {
+  const Graph g = gen::erdos_renyi(500, 3000, 3);
+  const MetisLikePartitioner metis;
+  const auto vpart = metis.partition_vertices(g, config(4));
+  ASSERT_EQ(vpart.size(), g.num_vertices());
+  std::set<PartitionId> used;
+  for (const PartitionId i : vpart) {
+    ASSERT_LT(i, 4u);
+    used.insert(i);
+  }
+  EXPECT_EQ(used.size(), 4u) << "all parts should be used";
+}
+
+TEST(MetisLike, VertexCountsAreBalanced) {
+  const Graph g = gen::chung_lu(3000, 24000, 2.2, false, 7);
+  const MetisLikePartitioner metis;
+  const auto vpart = metis.partition_vertices(g, config(8));
+  std::vector<std::uint64_t> counts(8, 0);
+  for (const PartitionId i : vpart) ++counts[i];
+  const std::uint64_t max_count =
+      *std::max_element(counts.begin(), counts.end());
+  const double imbalance =
+      static_cast<double>(max_count) /
+      (static_cast<double>(g.num_vertices()) / 8.0);
+  EXPECT_LT(imbalance, 1.25) << "METIS-like balances vertices";
+}
+
+TEST(MetisLike, EdgeProjectionFollowsSourceVertex) {
+  const Graph g = gen::erdos_renyi(200, 1000, 5);
+  const MetisLikePartitioner metis;
+  const auto vpart = metis.partition_vertices(g, config(4));
+  const auto epart = metis.partition(g, config(4));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(epart.part_of_edge[e], vpart[g.edge(e).src]);
+  }
+}
+
+TEST(MetisLike, EdgeImbalanceGrowsWithSkew) {
+  const MetisLikePartitioner metis;
+  const Graph skewed = gen::chung_lu(3000, 30000, 1.9, false, 8);
+  const Graph road = gen::road_grid(55, 55, 0.92, 8);
+  const auto m_skewed = compute_metrics(skewed, metis.partition(skewed, config(8)));
+  const auto m_road = compute_metrics(road, metis.partition(road, config(8)));
+  EXPECT_GT(m_skewed.edge_imbalance, m_road.edge_imbalance)
+      << "hubs concentrate edges in a vertex-balanced partition";
+}
+
+TEST(MetisLike, LowReplicationOnRoadGraph) {
+  // On mesh graphs the multilevel edge-cut keeps locality: the vertex-cut
+  // replication factor of its projection should be near 1.
+  const Graph g = gen::road_grid(40, 40, 0.95, 9);
+  const MetisLikePartitioner metis;
+  const auto m = compute_metrics(g, metis.partition(g, config(4)));
+  EXPECT_LT(m.replication_factor, 1.35);
+}
+
+TEST(MetisLike, DeterministicUnderSeed) {
+  const Graph g = gen::erdos_renyi(400, 2000, 6);
+  const MetisLikePartitioner metis;
+  const auto a = metis.partition(g, config(4));
+  const auto b = metis.partition(g, config(4));
+  EXPECT_EQ(a.part_of_edge, b.part_of_edge);
+}
+
+TEST(MetisLike, TinyGraphSmallerThanCoarsenTarget) {
+  const Graph g(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  const MetisLikePartitioner metis;
+  const auto vpart = metis.partition_vertices(g, config(2));
+  ASSERT_EQ(vpart.size(), 6u);
+  for (const PartitionId i : vpart) EXPECT_LT(i, 2u);
+}
+
+TEST(MetisLike, CustomParametersAreHonoured) {
+  MetisLikePartitioner::Parameters params;
+  params.balance_tolerance = 1.01;
+  params.refinement_passes = 8;
+  const MetisLikePartitioner metis(params);
+  const Graph g = gen::erdos_renyi(600, 3600, 10);
+  const auto vpart = metis.partition_vertices(g, config(4));
+  std::vector<std::uint64_t> counts(4, 0);
+  for (const PartitionId i : vpart) ++counts[i];
+  const std::uint64_t max_count =
+      *std::max_element(counts.begin(), counts.end());
+  EXPECT_LT(static_cast<double>(max_count) / (600.0 / 4.0), 1.3);
+}
+
+}  // namespace
+}  // namespace ebv

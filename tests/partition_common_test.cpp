@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+
+namespace ebv {
+namespace {
+
+TEST(EdgeOrder, NaturalIsIdentity) {
+  const Graph g = gen::erdos_renyi(50, 200, 1);
+  const auto order = make_edge_order(g, EdgeOrder::kNatural, 42);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) EXPECT_EQ(order[e], e);
+}
+
+TEST(EdgeOrder, AscendingIsSortedByDegreeSum) {
+  const Graph g = gen::chung_lu(500, 3000, 2.3, false, 7);
+  const auto order = make_edge_order(g, EdgeOrder::kSortedAscending, 42);
+  auto degree_sum = [&](EdgeId e) {
+    return g.degree(g.edge(e).src) + g.degree(g.edge(e).dst);
+  };
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(degree_sum(order[i - 1]), degree_sum(order[i]));
+  }
+}
+
+TEST(EdgeOrder, DescendingIsReverseSorted) {
+  const Graph g = gen::chung_lu(500, 3000, 2.3, false, 7);
+  const auto order = make_edge_order(g, EdgeOrder::kSortedDescending, 42);
+  auto degree_sum = [&](EdgeId e) {
+    return g.degree(g.edge(e).src) + g.degree(g.edge(e).dst);
+  };
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(degree_sum(order[i - 1]), degree_sum(order[i]));
+  }
+}
+
+TEST(EdgeOrder, EveryOrderIsAPermutation) {
+  const Graph g = gen::erdos_renyi(100, 500, 3);
+  for (const EdgeOrder o :
+       {EdgeOrder::kNatural, EdgeOrder::kSortedAscending,
+        EdgeOrder::kSortedDescending, EdgeOrder::kRandom}) {
+    auto order = make_edge_order(g, o, 42);
+    std::sort(order.begin(), order.end());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) EXPECT_EQ(order[e], e);
+  }
+}
+
+TEST(EdgeOrder, RandomIsSeedDeterministic) {
+  const Graph g = gen::erdos_renyi(100, 500, 3);
+  const auto a = make_edge_order(g, EdgeOrder::kRandom, 1);
+  const auto b = make_edge_order(g, EdgeOrder::kRandom, 1);
+  const auto c = make_edge_order(g, EdgeOrder::kRandom, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(EdgeOrder, SortIsDeterministicWithTies) {
+  // A 4-cycle: all degree sums equal; tie-break must be stable.
+  const Graph g(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const auto a = make_edge_order(g, EdgeOrder::kSortedAscending, 1);
+  const auto b = make_edge_order(g, EdgeOrder::kSortedAscending, 99);
+  EXPECT_EQ(a, b) << "sorting must not depend on the seed";
+}
+
+TEST(Config, Validation) {
+  const Graph g = gen::erdos_renyi(10, 20, 1);
+  PartitionConfig bad;
+  bad.num_parts = 0;
+  EXPECT_THROW(check_partition_config(g, bad), std::invalid_argument);
+
+  PartitionConfig negative;
+  negative.alpha = -1.0;
+  EXPECT_THROW(check_partition_config(g, negative), std::invalid_argument);
+
+  PartitionConfig ok;
+  EXPECT_NO_THROW(check_partition_config(g, ok));
+
+  EXPECT_THROW(check_partition_config(Graph(), ok), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ebv

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "partition/partition_io.h"
+#include "partition/registry.h"
+
+namespace ebv {
+namespace {
+
+EdgePartition sample_partition() {
+  const Graph g = gen::chung_lu(300, 2500, 2.4, false, 1);
+  PartitionConfig c;
+  c.num_parts = 6;
+  return make_partitioner("ebv")->partition(g, c);
+}
+
+TEST(PartitionIo, TextRoundTrip) {
+  const EdgePartition p = sample_partition();
+  std::stringstream ss;
+  io::write_partition(ss, p);
+  const EdgePartition back = io::read_partition(ss);
+  EXPECT_EQ(back.num_parts, p.num_parts);
+  EXPECT_EQ(back.part_of_edge, p.part_of_edge);
+}
+
+TEST(PartitionIo, BinaryRoundTrip) {
+  const EdgePartition p = sample_partition();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_partition_binary(ss, p);
+  const EdgePartition back = io::read_partition_binary(ss);
+  EXPECT_EQ(back.num_parts, p.num_parts);
+  EXPECT_EQ(back.part_of_edge, p.part_of_edge);
+}
+
+TEST(PartitionIo, FileRoundTrip) {
+  const EdgePartition p = sample_partition();
+  const std::string path = testing::TempDir() + "/ebv_part_test.ebvp";
+  io::write_partition_binary_file(path, p);
+  const EdgePartition back = io::read_partition_binary_file(path);
+  EXPECT_EQ(back.part_of_edge, p.part_of_edge);
+}
+
+TEST(PartitionIo, TextRejectsMissingHeader) {
+  std::stringstream ss("0\n1\n");
+  EXPECT_THROW(io::read_partition(ss), std::runtime_error);
+}
+
+TEST(PartitionIo, TextRejectsCountMismatch) {
+  std::stringstream ss("# ebv partition p=2 edges=3\n0\n1\n");
+  EXPECT_THROW(io::read_partition(ss), std::runtime_error);
+}
+
+TEST(PartitionIo, BinaryRejectsBadMagic) {
+  std::stringstream ss("XXXX............", std::ios::in | std::ios::binary);
+  EXPECT_THROW(io::read_partition_binary(ss), std::runtime_error);
+}
+
+TEST(PartitionIo, BinaryRejectsOutOfRangePartIds) {
+  EdgePartition bad{2, {0, 5, 1}};
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_partition_binary(ss, bad);
+  EXPECT_THROW(io::read_partition_binary(ss), std::runtime_error);
+}
+
+TEST(PartitionIo, BinaryRejectsTruncation) {
+  const EdgePartition p = sample_partition();
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_partition_binary(full, p);
+  const std::string bytes = full.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() / 2),
+                        std::ios::in | std::ios::binary);
+  EXPECT_THROW(io::read_partition_binary(cut), std::runtime_error);
+}
+
+TEST(PartitionIo, EmptyPartitionRoundTrips) {
+  EdgePartition empty{4, {}};
+  std::stringstream ss;
+  io::write_partition(ss, empty);
+  const EdgePartition back = io::read_partition(ss);
+  EXPECT_EQ(back.num_parts, 4u);
+  EXPECT_TRUE(back.part_of_edge.empty());
+}
+
+}  // namespace
+}  // namespace ebv

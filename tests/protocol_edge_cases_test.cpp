@@ -1,0 +1,113 @@
+// Edge cases of the master/mirror replica-sync protocol that the
+// application-level tests do not isolate: master-side in-place updates,
+// mirror convergence, and degenerate graphs.
+#include <gtest/gtest.h>
+
+#include "apps/cc.h"
+#include "apps/pagerank.h"
+#include "bsp/distributed_graph.h"
+#include "bsp/runtime.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace ebv {
+namespace {
+
+using bsp::BspRuntime;
+using bsp::DistributedGraph;
+
+TEST(Protocol, MasterSideImprovementReachesMirrors) {
+  // Path 0-1-2-3 split so that worker 0 owns {(0,1),(1,2)} and worker 1
+  // owns {(2,3)}. Vertex 2 is replicated; worker 0 holds 2 of its 3
+  // incident edge-endpoints, so worker 0 is the master. Worker 0's local
+  // compute lowers vertex 2's label in place (to 0) — the broadcast must
+  // still deliver 0 to worker 1, which then relabels vertex 3.
+  const Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  EdgePartition part{2, {0, 0, 1}};
+  const DistributedGraph dist(g, part);
+  ASSERT_EQ(dist.master_of(2), 0u);
+  const auto run = BspRuntime().run(dist, apps::ConnectedComponents());
+  EXPECT_EQ(run.values[3], 0.0);
+}
+
+TEST(Protocol, MirrorImprovementReachesMaster) {
+  // Vertex 1 is replicated with its master on worker 0 (tie-break), but
+  // the label-0 improvement originates on worker 1 — the *mirror* — via
+  // edge (0,1). The mirror's emission must reach the master and then
+  // propagate to vertices 2 and 3.
+  const Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  EdgePartition part{2, {1, 0, 0}};
+  const DistributedGraph dist(g, part);
+  ASSERT_EQ(dist.master_of(1), 0u);
+  const auto run = BspRuntime().run(dist, apps::ConnectedComponents());
+  EXPECT_EQ(run.values[3], 0.0);
+}
+
+TEST(Protocol, ChainAcrossManyWorkersNeedsManySupersteps) {
+  // A long path cut into one-edge pieces: label 0 travels one worker per
+  // superstep, exercising repeated reactivation through sync.
+  constexpr VertexId kLength = 12;
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < kLength; ++v) edges.push_back({v, v + 1});
+  const Graph g(kLength, std::move(edges));
+  EdgePartition part{kLength - 1,
+                     std::vector<PartitionId>(g.num_edges())};
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    part.part_of_edge[e] = static_cast<PartitionId>(e);
+  }
+  const DistributedGraph dist(g, part);
+  const auto run = BspRuntime().run(dist, apps::ConnectedComponents());
+  for (VertexId v = 0; v < kLength; ++v) EXPECT_EQ(run.values[v], 0.0);
+  EXPECT_GE(run.supersteps, 5u) << "labels cross one boundary per step";
+}
+
+TEST(Protocol, EmptyWorkerIsHarmless) {
+  // Three parts declared, edges only land in two.
+  const Graph g(4, {{0, 1}, {2, 3}});
+  EdgePartition part{3, {0, 2}};
+  const DistributedGraph dist(g, part);
+  EXPECT_EQ(dist.local(1).num_vertices(), 0u);
+  const auto run = BspRuntime().run(dist, apps::ConnectedComponents());
+  EXPECT_EQ(run.values[1], 0.0);
+  EXPECT_EQ(run.values[3], 2.0);
+}
+
+TEST(Protocol, SelfLoopOnlyGraph) {
+  GraphBuilder::Options opts;
+  opts.remove_self_loops = false;
+  GraphBuilder b(opts);
+  b.add_edge(0, 0);
+  const Graph g = b.build();
+  EdgePartition part{2, {0}};
+  const DistributedGraph dist(g, part);
+  const auto run = BspRuntime().run(dist, apps::ConnectedComponents());
+  EXPECT_EQ(run.values[0], 0.0);
+}
+
+TEST(Protocol, PageRankPartialsSumAcrossThreeReplicas) {
+  // Star into vertex 3 with in-edges spread over three workers: the
+  // master must sum three partials before applying damping.
+  const Graph g(4, {{0, 3}, {1, 3}, {2, 3}});
+  EdgePartition part{3, {0, 1, 2}};
+  const DistributedGraph dist(g, part);
+  const apps::PageRank pr(4, 1);
+  const auto run = BspRuntime().run(dist, pr);
+  // One iteration from uniform 1/4: rank(3) = 0.15/4 + 0.85·(3·(1/4)/1).
+  EXPECT_NEAR(run.values[3], 0.15 / 4 + 0.85 * 0.75, 1e-12);
+  EXPECT_NEAR(run.values[0], 0.15 / 4, 1e-12);
+}
+
+TEST(Protocol, TwoWorkersShareEveryVertex) {
+  // Both directions of one edge on different workers: both vertices are
+  // replicated on both workers, maximal replica interaction.
+  const Graph g(2, {{0, 1}, {1, 0}});
+  EdgePartition part{2, {0, 1}};
+  const DistributedGraph dist(g, part);
+  EXPECT_EQ(dist.total_replicas(), 4u);
+  const auto run = BspRuntime().run(dist, apps::ConnectedComponents());
+  EXPECT_EQ(run.values[0], 0.0);
+  EXPECT_EQ(run.values[1], 0.0);
+}
+
+}  // namespace
+}  // namespace ebv

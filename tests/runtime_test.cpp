@@ -1,0 +1,206 @@
+// Protocol-level tests of the BSP runtime using purpose-built tiny
+// programs, independent of the real applications.
+#include <gtest/gtest.h>
+
+#include "bsp/runtime.h"
+#include "graph/generators.h"
+#include "partition/registry.h"
+
+namespace ebv {
+namespace {
+
+using bsp::BspRuntime;
+using bsp::DistributedGraph;
+using bsp::RunStats;
+using bsp::Value;
+using bsp::WorkerContext;
+
+EdgePartition round_robin(const Graph& g, PartitionId p) {
+  EdgePartition part{p, std::vector<PartitionId>(g.num_edges())};
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    part.part_of_edge[e] = static_cast<PartitionId>(e % p);
+  }
+  return part;
+}
+
+/// Propagates the maximum vertex id one hop per superstep (no local
+/// iteration): a minimal monotone program exercising the sync protocol.
+class MaxOneHop final : public bsp::SubgraphProgram {
+ public:
+  [[nodiscard]] std::string name() const override { return "max1hop"; }
+  [[nodiscard]] Value init_value(VertexId global) const override {
+    return static_cast<Value>(global);
+  }
+  [[nodiscard]] Value combine(Value a, Value b) const override {
+    return a > b ? a : b;
+  }
+  void compute(WorkerContext& ctx, std::uint32_t superstep) const override {
+    const auto& ls = ctx.local();
+    std::vector<VertexId> frontier;
+    if (superstep == 0) {
+      frontier.resize(ls.num_vertices());
+      for (VertexId v = 0; v < ls.num_vertices(); ++v) frontier[v] = v;
+    } else {
+      frontier = ctx.updated();
+    }
+    std::vector<std::uint8_t> changed(ls.num_vertices(), 0);
+    for (const VertexId v : frontier) {
+      for (const VertexId w : ls.both_csr.neighbors(v)) {
+        ctx.add_work(1);
+        if (ctx.value(v) > ctx.value(w)) {
+          ctx.set_value(w, ctx.value(v));
+          changed[w] = 1;
+        }
+      }
+    }
+    for (VertexId v = 0; v < ls.num_vertices(); ++v) {
+      if (changed[v] != 0 && ls.is_replicated[v] != 0) ctx.emit(v, ctx.value(v));
+    }
+  }
+};
+
+/// Counts supersteps; used to verify fixed_supersteps handling.
+class FixedRounds final : public bsp::SubgraphProgram {
+ public:
+  explicit FixedRounds(std::uint32_t rounds) : rounds_(rounds) {}
+  [[nodiscard]] std::string name() const override { return "fixed"; }
+  [[nodiscard]] Value init_value(VertexId) const override { return 0.0; }
+  [[nodiscard]] Value combine(Value a, Value b) const override {
+    return a + b;
+  }
+  [[nodiscard]] bool combine_with_current() const override { return false; }
+  [[nodiscard]] std::optional<std::uint32_t> fixed_supersteps()
+      const override {
+    return rounds_;
+  }
+  void compute(WorkerContext& ctx, std::uint32_t) const override {
+    ctx.add_work(1);
+  }
+
+ private:
+  std::uint32_t rounds_;
+};
+
+TEST(Runtime, SingleWorkerProducesNoMessages) {
+  const Graph g = gen::erdos_renyi(100, 600, 1);
+  const DistributedGraph dist(g, round_robin(g, 1));
+  const BspRuntime runtime;
+  const RunStats stats = runtime.run(dist, MaxOneHop());
+  EXPECT_EQ(stats.total_messages, 0u);
+  EXPECT_GT(stats.supersteps, 0u);
+}
+
+TEST(Runtime, ConvergesToGlobalMaxAcrossWorkers) {
+  const Graph g = gen::erdos_renyi(200, 2000, 2);  // almost surely connected
+  const DistributedGraph dist(g, round_robin(g, 4));
+  const BspRuntime runtime;
+  const RunStats stats = runtime.run(dist, MaxOneHop());
+  // Every covered vertex in the giant component must reach the global max
+  // of its component; spot-check that values only grew.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(stats.values[v], static_cast<Value>(v));
+  }
+  EXPECT_GT(stats.total_messages, 0u);
+}
+
+TEST(Runtime, FixedSuperstepsAreHonoured) {
+  const Graph g = gen::erdos_renyi(50, 300, 3);
+  const DistributedGraph dist(g, round_robin(g, 2));
+  const BspRuntime runtime;
+  const RunStats stats = runtime.run(dist, FixedRounds(7));
+  EXPECT_EQ(stats.supersteps, 7u);
+}
+
+TEST(Runtime, StatsShapeIsConsistent) {
+  const Graph g = gen::erdos_renyi(150, 1200, 4);
+  const DistributedGraph dist(g, round_robin(g, 3));
+  const BspRuntime runtime;
+  const RunStats stats = runtime.run(dist, MaxOneHop());
+  ASSERT_EQ(stats.steps.size(), stats.supersteps);
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  for (const auto& step : stats.steps) {
+    ASSERT_EQ(step.size(), 3u);
+    for (const auto& w : step) {
+      sent += w.messages_sent;
+      received += w.messages_received;
+    }
+  }
+  EXPECT_EQ(sent, stats.total_messages);
+  EXPECT_EQ(received, stats.total_messages)
+      << "every message sent must be received";
+  std::uint64_t per_worker_total = 0;
+  for (const auto m : stats.messages_sent_per_worker) per_worker_total += m;
+  EXPECT_EQ(per_worker_total, stats.total_messages);
+}
+
+TEST(Runtime, ExecutionTimeDominatedBySlowestWorker) {
+  const Graph g = gen::erdos_renyi(150, 1200, 5);
+  const DistributedGraph dist(g, round_robin(g, 3));
+  const BspRuntime runtime;
+  const RunStats stats = runtime.run(dist, MaxOneHop());
+  // execution >= comp average (max >= mean per superstep).
+  EXPECT_GE(stats.execution_seconds + 1e-12,
+            stats.comp_seconds + stats.comm_seconds);
+  EXPECT_GE(stats.delta_c_seconds, 0.0);
+}
+
+TEST(Runtime, CostModelScalesCommCost) {
+  const Graph g = gen::chung_lu(300, 3000, 2.3, false, 6);
+  const DistributedGraph dist(g, round_robin(g, 4));
+  bsp::RunOptions cheap;
+  cheap.cost_model.msg_remote_us = 0.1;
+  cheap.cost_model.msg_local_us = 0.1;
+  bsp::RunOptions pricey;
+  pricey.cost_model.msg_remote_us = 10.0;
+  pricey.cost_model.msg_local_us = 10.0;
+  const RunStats a = BspRuntime(cheap).run(dist, MaxOneHop());
+  const RunStats b = BspRuntime(pricey).run(dist, MaxOneHop());
+  EXPECT_EQ(a.total_messages, b.total_messages) << "protocol is cost-blind";
+  EXPECT_LT(a.comm_seconds, b.comm_seconds);
+}
+
+TEST(Runtime, IntraNodeMessagesAreCheaper) {
+  bsp::ClusterCostModel model;
+  model.workers_per_node = 2;
+  EXPECT_TRUE(model.same_node(0, 1));
+  EXPECT_FALSE(model.same_node(1, 2));
+  EXPECT_LT(model.comm_seconds(10, 0), model.comm_seconds(0, 10));
+}
+
+TEST(Runtime, MaxSuperstepsGuardStopsRunaway) {
+  // FixedRounds(1000000) with the guard at 5 must stop at 5.
+  const Graph g = gen::erdos_renyi(20, 60, 7);
+  const DistributedGraph dist(g, round_robin(g, 2));
+  bsp::RunOptions opts;
+  opts.max_supersteps = 5;
+  const RunStats stats = BspRuntime(opts).run(dist, FixedRounds(1'000'000));
+  EXPECT_EQ(stats.supersteps, 5u);
+}
+
+TEST(Runtime, ParallelPolicyMatchesSequentialExactly) {
+  const Graph g = gen::chung_lu(400, 3000, 2.3, false, 9);
+  const DistributedGraph dist(g, round_robin(g, 6));
+  bsp::RunOptions sequential;
+  sequential.policy = bsp::ExecutionPolicy::kSequential;
+  bsp::RunOptions parallel;
+  parallel.policy = bsp::ExecutionPolicy::kParallel;
+  const RunStats a = BspRuntime(sequential).run(dist, MaxOneHop());
+  const RunStats b = BspRuntime(parallel).run(dist, MaxOneHop());
+  EXPECT_EQ(a.supersteps, b.supersteps);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_EQ(a.execution_seconds, b.execution_seconds)
+      << "virtual time must not depend on the execution policy";
+}
+
+TEST(Runtime, UncoveredVerticesKeepInitValue) {
+  const Graph g(6, {{0, 1}});
+  EdgePartition part{2, {0}};
+  const DistributedGraph dist(g, part);
+  const RunStats stats = BspRuntime().run(dist, MaxOneHop());
+  EXPECT_EQ(stats.values[5], 5.0);
+}
+
+}  // namespace
+}  // namespace ebv

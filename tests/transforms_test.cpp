@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/transforms.h"
+
+namespace ebv {
+namespace {
+
+TEST(Transforms, TransposeSwapsEndpointsAndKeepsWeights) {
+  const Graph g(3, {{0, 1}, {1, 2}}, {2.0f, 3.0f});
+  const Graph t = transpose(g);
+  EXPECT_EQ(t.edge(0), (Edge{1, 0}));
+  EXPECT_EQ(t.edge(1), (Edge{2, 1}));
+  EXPECT_FLOAT_EQ(t.weight(0), 2.0f);
+  EXPECT_FLOAT_EQ(t.weight(1), 3.0f);
+}
+
+TEST(Transforms, TransposeIsInvolutive) {
+  const Graph g = gen::chung_lu(200, 1500, 2.4, false, 1);
+  const Graph tt = transpose(transpose(g));
+  ASSERT_EQ(tt.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) EXPECT_EQ(tt.edge(e), g.edge(e));
+}
+
+TEST(Transforms, InducedSubgraphKeepsInternalEdgesOnly) {
+  // Path 0-1-2-3; keep {1,2}.
+  const Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::vector<VertexId> old_ids;
+  const Graph sub = induced_subgraph(g, {0, 1, 1, 0}, &old_ids);
+  EXPECT_EQ(sub.num_vertices(), 2u);
+  EXPECT_EQ(sub.num_edges(), 1u);
+  EXPECT_EQ(sub.edge(0), (Edge{0, 1}));
+  EXPECT_EQ(old_ids, (std::vector<VertexId>{1, 2}));
+}
+
+TEST(Transforms, InducedSubgraphRejectsBadMask) {
+  const Graph g(3, {{0, 1}});
+  EXPECT_THROW(induced_subgraph(g, {1, 1}), std::invalid_argument);
+}
+
+TEST(Transforms, LargestComponentPicksGiant) {
+  // Two components: triangle {0,1,2} and edge {3,4}.
+  const Graph g(5, {{0, 1}, {1, 2}, {2, 0}, {3, 4}});
+  std::vector<VertexId> old_ids;
+  const Graph giant = largest_component(g, &old_ids);
+  EXPECT_EQ(giant.num_vertices(), 3u);
+  EXPECT_EQ(giant.num_edges(), 3u);
+  EXPECT_EQ(old_ids, (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(Transforms, LargestComponentOfConnectedGraphIsWholeGraph) {
+  const Graph g = gen::road_grid(10, 10, 1.0, 2);
+  const Graph giant = largest_component(g);
+  EXPECT_EQ(giant.num_vertices(), g.num_vertices());
+  EXPECT_EQ(giant.num_edges(), g.num_edges());
+}
+
+TEST(Transforms, FilterByDegreeDropsHubs) {
+  // Star 0->{1..4} plus edge 5-6.
+  const Graph g(7, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {5, 6}});
+  const Graph filtered = filter_by_degree(g, 0, 2);
+  // Hub 0 (degree 4) removed; its leaves survive as isolated vertices.
+  EXPECT_EQ(filtered.num_vertices(), 6u);
+  EXPECT_EQ(filtered.num_edges(), 1u);
+}
+
+TEST(Transforms, RelabelByDegreePutsHubFirst) {
+  const Graph g(5, {{3, 0}, {3, 1}, {3, 2}, {0, 1}});
+  std::vector<VertexId> old_ids;
+  const Graph relabelled = relabel_by_degree(g, &old_ids);
+  EXPECT_EQ(old_ids[0], 3u) << "vertex 3 has the highest degree";
+  // Degree multiset is preserved.
+  EXPECT_EQ(relabelled.degree(0), g.degree(3));
+}
+
+TEST(Transforms, RelabelPreservesStructure) {
+  const Graph g = gen::chung_lu(300, 2500, 2.3, false, 3);
+  std::vector<VertexId> old_ids;
+  const Graph relabelled = relabel_by_degree(g, &old_ids);
+  ASSERT_EQ(relabelled.num_edges(), g.num_edges());
+  // Edge k in the relabelled graph maps back to edge k in the original.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(old_ids[relabelled.edge(e).src], g.edge(e).src);
+    EXPECT_EQ(old_ids[relabelled.edge(e).dst], g.edge(e).dst);
+  }
+}
+
+TEST(Transforms, RandomWeightsInRangeAndDeterministic) {
+  const Graph g = gen::erdos_renyi(100, 500, 4);
+  const Graph a = with_random_weights(g, 2.0f, 5.0f, 7);
+  const Graph b = with_random_weights(g, 2.0f, 5.0f, 7);
+  ASSERT_TRUE(a.has_weights());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_GE(a.weight(e), 2.0f);
+    EXPECT_LE(a.weight(e), 5.0f);
+    EXPECT_FLOAT_EQ(a.weight(e), b.weight(e));
+  }
+}
+
+TEST(Transforms, RandomWeightsRejectEmptyInterval) {
+  const Graph g(2, {{0, 1}});
+  EXPECT_THROW(with_random_weights(g, 5.0f, 2.0f, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ebv

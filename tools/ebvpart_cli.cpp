@@ -1,0 +1,233 @@
+// ebvpart — command-line front end for the library.
+//
+//   ebvpart generate --family powerlaw --vertices 20000 --edges 200000
+//                    [--eta 2.4] [--seed 42] --out graph.ebvg
+//   ebvpart stats     --graph graph.ebvg
+//   ebvpart partition --graph graph.ebvg --algo ebv --parts 8
+//                     [--alpha 1.0] [--beta 1.0] [--order sorted|natural|
+//                      desc|random] --out parts.ebvp
+//   ebvpart run       --graph graph.ebvg --partition parts.ebvp
+//                     --app cc|pr|sssp
+//
+// Graph files: .ebvg binary (ebvpart generate) or plain text edge lists.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/experiment.h"
+#include "analysis/table.h"
+#include "common/format.h"
+#include "common/timer.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "partition/metrics.h"
+#include "partition/partition_io.h"
+#include "partition/registry.h"
+
+namespace {
+
+using namespace ebv;
+
+using ArgMap = std::map<std::string, std::string>;
+
+ArgMap parse_args(int argc, char** argv, int first) {
+  ArgMap args;
+  for (int i = first; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      throw std::invalid_argument(std::string("expected --flag, got ") +
+                                  argv[i]);
+    }
+    args[argv[i] + 2] = argv[i + 1];
+  }
+  return args;
+}
+
+std::string get(const ArgMap& args, const std::string& key,
+                const std::string& fallback = "") {
+  const auto it = args.find(key);
+  if (it != args.end()) return it->second;
+  if (!fallback.empty()) return fallback;
+  throw std::invalid_argument("missing required --" + key);
+}
+
+Graph load_graph(const std::string& path) {
+  if (path.size() > 5 && path.substr(path.size() - 5) == ".ebvg") {
+    return io::read_binary_file(path);
+  }
+  return io::read_edge_list_file(path);
+}
+
+int cmd_generate(const ArgMap& args) {
+  const std::string family = get(args, "family", "powerlaw");
+  const auto seed = std::stoull(get(args, "seed", "42"));
+  Graph graph;
+  if (family == "powerlaw") {
+    graph = gen::chung_lu(
+        static_cast<VertexId>(std::stoul(get(args, "vertices"))),
+        std::stoull(get(args, "edges")),
+        std::stod(get(args, "eta", "2.4")), false, seed);
+  } else if (family == "road") {
+    const auto side =
+        static_cast<std::uint32_t>(std::stoul(get(args, "side", "200")));
+    graph = gen::road_grid(side, side, 0.92, seed);
+  } else if (family == "uniform") {
+    graph = gen::erdos_renyi(
+        static_cast<VertexId>(std::stoul(get(args, "vertices"))),
+        std::stoull(get(args, "edges")), seed);
+  } else if (family == "ba") {
+    graph = gen::barabasi_albert(
+        static_cast<VertexId>(std::stoul(get(args, "vertices"))),
+        static_cast<std::uint32_t>(std::stoul(get(args, "attach", "4"))),
+        seed);
+  } else {
+    throw std::invalid_argument("unknown family: " + family);
+  }
+  const std::string out = get(args, "out");
+  io::write_binary_file(out, graph);
+  std::cout << "wrote " << out << ": |V|=" << with_commas(graph.num_vertices())
+            << " |E|=" << with_commas(graph.num_edges()) << "\n";
+  return 0;
+}
+
+int cmd_stats(const ArgMap& args) {
+  const Graph graph = load_graph(get(args, "graph"));
+  const GraphStats s = compute_stats(graph);
+  analysis::Table table({"metric", "value"});
+  table.add_row({"vertices", with_commas(s.num_vertices)});
+  table.add_row({"edges", with_commas(s.num_edges)});
+  table.add_row({"average degree", format_fixed(s.average_degree, 2)});
+  table.add_row({"max total degree", with_commas(s.max_total_degree)});
+  table.add_row({"isolated vertices", with_commas(s.isolated_vertices)});
+  table.add_row({"power-law eta", format_fixed(s.eta, 2)});
+  if (args.count("deep") != 0) {
+    const auto cores = core_decomposition(graph);
+    std::uint32_t max_core = 0;
+    for (const auto c : cores) max_core = std::max(max_core, c);
+    table.add_row({"max core number", std::to_string(max_core)});
+    table.add_row({"triangles", with_commas(total_triangles(graph))});
+    table.add_row({"clustering coefficient",
+                   format_fixed(global_clustering_coefficient(graph), 4)});
+    table.add_row(
+        {"diameter (lower bound)",
+         std::to_string(estimate_diameter(graph, 4, 42))});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_partition(const ArgMap& args) {
+  const Graph graph = load_graph(get(args, "graph"));
+  const std::string algo = get(args, "algo", "ebv");
+  PartitionConfig config;
+  config.num_parts =
+      static_cast<PartitionId>(std::stoul(get(args, "parts", "8")));
+  config.alpha = std::stod(get(args, "alpha", "1.0"));
+  config.beta = std::stod(get(args, "beta", "1.0"));
+  config.seed = std::stoull(get(args, "seed", "42"));
+  const std::string order = get(args, "order", "sorted");
+  if (order == "sorted") {
+    config.edge_order = EdgeOrder::kSortedAscending;
+  } else if (order == "desc") {
+    config.edge_order = EdgeOrder::kSortedDescending;
+  } else if (order == "natural") {
+    config.edge_order = EdgeOrder::kNatural;
+  } else if (order == "random") {
+    config.edge_order = EdgeOrder::kRandom;
+  } else {
+    throw std::invalid_argument("unknown order: " + order);
+  }
+
+  const Timer timer;
+  const EdgePartition partition =
+      make_partitioner(algo)->partition(graph, config);
+  const double elapsed = timer.seconds();
+  const PartitionMetrics m = compute_metrics(graph, partition);
+
+  analysis::Table table({"metric", "value"});
+  table.add_row({"algorithm", algo});
+  table.add_row({"parts", std::to_string(config.num_parts)});
+  table.add_row({"partitioning time", format_duration(elapsed)});
+  table.add_row({"edge imbalance", format_fixed(m.edge_imbalance, 3)});
+  table.add_row({"vertex imbalance", format_fixed(m.vertex_imbalance, 3)});
+  table.add_row({"replication factor", format_fixed(m.replication_factor, 3)});
+  table.print(std::cout);
+
+  if (args.count("out") != 0) {
+    io::write_partition_binary_file(args.at("out"), partition);
+    std::cout << "wrote " << args.at("out") << "\n";
+  }
+  return 0;
+}
+
+int cmd_run(const ArgMap& args) {
+  const Graph graph = load_graph(get(args, "graph"));
+  const std::string app_name = get(args, "app", "cc");
+  analysis::App app = analysis::App::kCC;
+  if (app_name == "pr") {
+    app = analysis::App::kPageRank;
+  } else if (app_name == "sssp") {
+    app = analysis::App::kSssp;
+  } else if (app_name != "cc") {
+    throw std::invalid_argument("unknown app: " + app_name);
+  }
+
+  analysis::ExperimentResult result;
+  if (args.count("partition") != 0) {
+    const EdgePartition partition =
+        io::read_partition_binary_file(args.at("partition"));
+    result = analysis::run_with_partition(graph, partition, "file", app);
+  } else {
+    result = analysis::run_experiment(
+        graph, get(args, "algo", "ebv"),
+        static_cast<PartitionId>(std::stoul(get(args, "parts", "8"))), app);
+  }
+
+  analysis::Table table({"metric", "value"});
+  table.add_row({"app", app_name});
+  table.add_row({"workers", std::to_string(result.num_parts)});
+  table.add_row({"supersteps", std::to_string(result.run.supersteps)});
+  table.add_row({"messages", with_commas(result.run.total_messages)});
+  table.add_row(
+      {"comp (avg)", format_duration(result.run.comp_seconds)});
+  table.add_row(
+      {"comm (avg)", format_duration(result.run.comm_seconds)});
+  table.add_row({"delta C", format_duration(result.run.delta_c_seconds)});
+  table.add_row(
+      {"execution time", format_duration(result.run.execution_seconds)});
+  table.print(std::cout);
+  return 0;
+}
+
+int usage() {
+  std::cerr
+      << "usage: ebvpart <generate|stats|partition|run> [--flag value]...\n"
+         "  generate  --family powerlaw|road|uniform|ba --out g.ebvg\n"
+         "            [--vertices N --edges M --eta H --seed S]\n"
+         "  stats     --graph g.ebvg [--deep 1]\n"
+         "  partition --graph g.ebvg --algo ebv --parts 8 [--out p.ebvp]\n"
+         "            [--alpha A --beta B --order sorted|natural|desc|random]\n"
+         "  run       --graph g.ebvg --app cc|pr|sssp\n"
+         "            (--partition p.ebvp | --algo ebv --parts 8)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const ArgMap args = parse_args(argc, argv, 2);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "partition") return cmd_partition(args);
+    if (command == "run") return cmd_run(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
