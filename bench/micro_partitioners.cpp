@@ -30,6 +30,35 @@ void BM_Partitioner(benchmark::State& state, const std::string& name) {
                           static_cast<std::int64_t>(g.num_edges()));
 }
 
+// 1M-edge power-law graph for the parallel-EBV trajectory recorded in
+// BENCH_partition.json (serial vs multi-thread chunked candidate scoring).
+const Graph& big_graph() {
+  static const Graph g = gen::chung_lu(100'000, 1'000'000, 2.3, false, 42);
+  return g;
+}
+
+void BM_EbvThreads(benchmark::State& state) {
+  const Graph& g = big_graph();
+  const auto partitioner = make_partitioner("ebv");
+  PartitionConfig config;
+  config.num_parts = 64;
+  config.num_threads = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partitioner->partition(g, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+
+void BM_EdgeSortThreads(benchmark::State& state) {
+  const Graph& g = big_graph();
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        make_edge_order(g, EdgeOrder::kSortedAscending, 42, threads));
+  }
+}
+
 void BM_CsrBuild(benchmark::State& state) {
   const Graph& g = test_graph();
   for (auto _ : state) {
@@ -74,6 +103,17 @@ BENCHMARK_CAPTURE(BM_Partitioner, metis, std::string("metis"))->Arg(16);
 BENCHMARK_CAPTURE(BM_Partitioner, hdrf, std::string("hdrf"))->Arg(16);
 BENCHMARK_CAPTURE(BM_Partitioner, ebv_p4, std::string("ebv"))->Arg(4);
 BENCHMARK_CAPTURE(BM_Partitioner, ebv_p64, std::string("ebv"))->Arg(64);
+BENCHMARK(BM_EbvThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_EdgeSortThreads)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 BENCHMARK(BM_CsrBuild);
 BENCHMARK(BM_EdgeSort);
 BENCHMARK(BM_Metrics);

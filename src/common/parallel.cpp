@@ -1,0 +1,251 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace ebv {
+namespace {
+
+/// Set while a thread executes pool work; nested pool calls from such a
+/// thread run inline to avoid deadlock (the pool has one job at a time).
+thread_local bool t_inside_pool_body = false;
+
+}  // namespace
+
+unsigned hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+/// One fork-join job. Chunks are claimed by fetch_add on `next`; the
+/// executor that retires the last chunk signals completion. `live` counts
+/// executors still touching the job so the owner's stack frame outlives
+/// every reader.
+struct ThreadPool::Job {
+  std::function<void(std::size_t, std::size_t)> body;
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> chunks_left{0};
+  std::atomic<bool> cancelled{false};
+  /// for_range skips remaining chunks after a throw; run_team must not
+  /// (unstarted ranks would strand barrier peers), so it clears this.
+  bool skip_on_cancel = true;
+  std::exception_ptr error;  // guarded by Impl::mutex
+};
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  Job* job = nullptr;  // current job, owned by the caller's stack
+  std::uint64_t generation = 0;
+  unsigned live = 0;  // workers currently referencing `job`
+  bool stop = false;
+  std::mutex submit_mutex;  // serialises concurrent external callers
+  std::vector<std::thread> workers;
+};
+
+ThreadPool::ThreadPool(unsigned num_threads) : impl_(new Impl) {
+  if (num_threads == 0) num_threads = hardware_threads();
+  num_workers_ = num_threads - 1;
+  impl_->workers.reserve(num_workers_);
+  for (std::size_t i = 0; i < num_workers_; ++i) {
+    impl_->workers.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+void ThreadPool::execute(Job& job) {
+  t_inside_pool_body = true;
+  for (;;) {
+    const std::size_t begin = job.next.fetch_add(job.grain);
+    if (begin >= job.n) break;
+    const std::size_t end = std::min(begin + job.grain, job.n);
+    if (!job.skip_on_cancel ||
+        !job.cancelled.load(std::memory_order_relaxed)) {
+      try {
+        job.body(begin, end);
+      } catch (...) {
+        job.cancelled.store(true, std::memory_order_relaxed);
+        std::lock_guard lock(impl_->mutex);
+        if (!job.error) job.error = std::current_exception();
+      }
+    }
+    if (job.chunks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lock(impl_->mutex);
+      impl_->done_cv.notify_all();
+    }
+  }
+  t_inside_pool_body = false;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock lock(impl_->mutex);
+      impl_->work_cv.wait(lock, [&] {
+        return impl_->stop || impl_->generation != seen_generation;
+      });
+      if (impl_->stop) return;
+      seen_generation = impl_->generation;
+      job = impl_->job;
+      if (job == nullptr) continue;
+      ++impl_->live;
+    }
+    execute(*job);
+    {
+      std::lock_guard lock(impl_->mutex);
+      --impl_->live;
+    }
+    impl_->done_cv.notify_all();
+  }
+}
+
+void ThreadPool::for_range(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  if (n == 0) return;
+  if (grain == 0) {
+    grain = std::max<std::size_t>(1, n / (4 * num_threads()));
+  }
+  if (num_workers_ == 0 || t_inside_pool_body || n <= grain) {
+    body(0, n);
+    return;
+  }
+
+  std::lock_guard submit_lock(impl_->submit_mutex);
+  Job job;
+  job.body = body;
+  job.n = n;
+  job.grain = grain;
+  job.chunks_left.store((n + grain - 1) / grain, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(impl_->mutex);
+    impl_->job = &job;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+
+  execute(job);
+
+  std::unique_lock lock(impl_->mutex);
+  impl_->done_cv.wait(lock, [&] {
+    return job.chunks_left.load(std::memory_order_acquire) == 0 &&
+           impl_->live == 0;
+  });
+  impl_->job = nullptr;
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void ThreadPool::run_team(
+    unsigned team_size, const std::function<void(unsigned, unsigned)>& body) {
+  const unsigned team = std::max(team_size, 1u);
+  if (team == 1 || t_inside_pool_body) {
+    const bool was_inside = t_inside_pool_body;
+    t_inside_pool_body = true;
+    try {
+      body(0, 1);
+    } catch (...) {
+      t_inside_pool_body = was_inside;
+      throw;
+    }
+    t_inside_pool_body = was_inside;
+    return;
+  }
+  // Teams larger than the pool cannot all be carried by pool workers (an
+  // executor keeps its rank until the body returns), so oversubscribed
+  // teams run every non-caller rank on a dedicated temporary thread (the
+  // resident workers sit this one out — simpler than mixing executor
+  // kinds, and run_team callers invoke it once per long-running
+  // operation, not per item, so the spawn cost is noise).
+  if (team > num_threads()) {
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    std::vector<std::thread> extra;
+    extra.reserve(team - 1);
+    for (unsigned rank = 1; rank < team; ++rank) {
+      extra.emplace_back([&, rank] {
+        t_inside_pool_body = true;
+        try {
+          body(rank, team);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+        t_inside_pool_body = false;
+      });
+    }
+    t_inside_pool_body = true;
+    try {
+      body(0, team);
+    } catch (...) {
+      std::lock_guard lock(error_mutex);
+      if (!error) error = std::current_exception();
+    }
+    t_inside_pool_body = false;
+    for (std::thread& t : extra) t.join();
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  // Each rank is one chunk; with the submit lock held every pool thread is
+  // idle, so all `team` ranks run concurrently (an executor that claims a
+  // rank keeps it until the body returns, and team <= num_threads()).
+  std::lock_guard submit_lock(impl_->submit_mutex);
+  Job job;
+  job.body = [&body, team](std::size_t begin, std::size_t) {
+    body(static_cast<unsigned>(begin), team);
+  };
+  job.n = team;
+  job.grain = 1;
+  job.skip_on_cancel = false;
+  job.chunks_left.store(team, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(impl_->mutex);
+    impl_->job = &job;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+
+  execute(job);
+
+  std::unique_lock lock(impl_->mutex);
+  impl_->done_cv.wait(lock, [&] {
+    return job.chunks_left.load(std::memory_order_acquire) == 0 &&
+           impl_->live == 0;
+  });
+  impl_->job = nullptr;
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+bool ThreadPool::inside_pool_body() { return t_inside_pool_body; }
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("EBV_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) return static_cast<unsigned>(parsed);
+    }
+    return hardware_threads();
+  }());
+  return pool;
+}
+
+}  // namespace ebv

@@ -1,0 +1,129 @@
+// Shared-memory parallel execution primitives.
+//
+// ThreadPool is a fixed-size fork-join pool: one job runs at a time, the
+// calling thread participates, and completion is a barrier. Two entry
+// points cover the library's needs:
+//
+//   for_range(n, body)    — chunked parallel loop over [0, n); chunks are
+//                           claimed dynamically, so the chunk→thread
+//                           mapping is NOT deterministic. Only use it when
+//                           chunk results are independent or reduced in a
+//                           chunk-indexed (not thread-indexed) structure.
+//   run_team(t, body)     — run body(rank, team_size) on t ranks
+//                           concurrently. Ranks may synchronise with each
+//                           other (e.g. via SpinBarrier); the pool
+//                           guarantees all ranks execute simultaneously.
+//
+// Exceptions thrown by a body are captured and the first one is rethrown
+// on the calling thread after the job drains. Nested use from inside a
+// pool body degrades to serial inline execution instead of deadlocking.
+//
+// The process-wide pool (ThreadPool::global()) is sized from the
+// EBV_THREADS environment variable, defaulting to the hardware thread
+// count. Components that take an explicit thread knob (PartitionConfig::
+// num_threads, bsp::RunOptions) clamp against the global pool size.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+namespace ebv {
+
+/// max(1, std::thread::hardware_concurrency()).
+unsigned hardware_threads();
+
+/// Sense-reversing spin barrier for run_team() ranks. Spins with
+/// this_thread::yield so oversubscribed hosts still make progress.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(unsigned parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    const std::uint64_t phase = phase_.load(std::memory_order_acquire);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      count_.store(0, std::memory_order_relaxed);
+      phase_.fetch_add(1, std::memory_order_release);
+    } else {
+      while (phase_.load(std::memory_order_acquire) == phase) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  unsigned parties_;
+  std::atomic<unsigned> count_{0};
+  std::atomic<std::uint64_t> phase_{0};
+};
+
+class ThreadPool {
+ public:
+  /// num_threads == 0 picks hardware_threads(). The pool spawns
+  /// num_threads - 1 workers; the caller is always the extra thread.
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total executors (workers + calling thread).
+  [[nodiscard]] unsigned num_threads() const {
+    return static_cast<unsigned>(num_workers_) + 1;
+  }
+
+  /// Chunked parallel loop: body(begin, end) over disjoint chunks covering
+  /// [0, n). grain == 0 picks ~4 chunks per executor. Blocks until every
+  /// chunk completed; rethrows the first body exception.
+  void for_range(std::size_t n,
+                 const std::function<void(std::size_t, std::size_t)>& body,
+                 std::size_t grain = 0);
+
+  /// Run body(rank, team) for rank in [0, team_size) concurrently. All
+  /// ranks are guaranteed to be live at once, so bodies may use a
+  /// SpinBarrier(team) to synchronise. Ranks beyond the pool size are
+  /// carried by temporary threads, so any team size works on any host
+  /// (oversubscription spins via yield). From inside a pool body the team
+  /// degrades to 1 — check inside_pool_body() when sizing barriers.
+  void run_team(unsigned team_size,
+                const std::function<void(unsigned, unsigned)>& body);
+
+  /// Process-wide pool (EBV_THREADS env or hardware_concurrency).
+  static ThreadPool& global();
+
+  /// True while the calling thread executes a pool body. run_team() from
+  /// such a thread degrades to a team of one; callers that size external
+  /// synchronisation (e.g. a SpinBarrier) to the team must check this.
+  static bool inside_pool_body();
+
+ private:
+  struct Job;
+  void worker_loop();
+  void execute(Job& job);
+
+  std::size_t num_workers_ = 0;
+  struct Impl;
+  Impl* impl_;
+};
+
+/// parallel_for(n, f): f(i) for every i in [0, n) on the global pool.
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body, std::size_t grain = 0) {
+  ThreadPool::global().for_range(
+      n,
+      [&body](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      },
+      grain);
+}
+
+/// parallel_for_chunks(n, f): f(begin, end) over disjoint chunks of [0, n)
+/// on the global pool — for bodies with per-chunk setup cost.
+template <typename Body>
+void parallel_for_chunks(std::size_t n, Body&& body, std::size_t grain = 0) {
+  ThreadPool::global().for_range(n, body, grain);
+}
+
+}  // namespace ebv

@@ -1,10 +1,12 @@
 #include "engines/smp_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <numeric>
 
 #include "common/assert.h"
+#include "common/parallel.h"
 #include "graph/csr.h"
 
 namespace ebv::engines {
@@ -24,25 +26,38 @@ double SmpEngine::round_seconds(std::uint64_t work_units) const {
 }
 
 SmpResult SmpEngine::connected_components(const Graph& graph) const {
+  const VertexId n = graph.num_vertices();
   SmpResult result;
-  result.values.resize(graph.num_vertices());
+  result.values.resize(n);
   std::iota(result.values.begin(), result.values.end(), 0.0);
+  const CsrGraph both = CsrGraph::build(graph, CsrGraph::Direction::kBoth);
 
+  // Jacobi min-label propagation: each round reads `values` and writes
+  // `next`, so vertex chunks parallelise over the pool without races and
+  // the fixpoint (the minimum id of each component, matching
+  // cc_reference) is identical for every thread count. Unlike the
+  // in-place edge-list sweep this replaced, labels advance one hop per
+  // round, so `rounds` (and the simulated times derived from it) grows
+  // with the component diameter — the round-based parallel model this
+  // engine simulates, rather than an artifact.
+  std::vector<double> next(result.values);
   bool changed = true;
   while (changed) {
-    changed = false;
-    // Symmetric label propagation sweep over the edge list.
-    for (const Edge& e : graph.edges()) {
-      const double lo = std::min(result.values[e.src], result.values[e.dst]);
-      if (result.values[e.src] > lo) {
-        result.values[e.src] = lo;
-        changed = true;
+    std::atomic<bool> any_change{false};
+    parallel_for_chunks(n, [&](std::size_t begin, std::size_t end) {
+      bool local_change = false;
+      for (std::size_t v = begin; v < end; ++v) {
+        double lo = result.values[v];
+        for (const VertexId u : both.neighbors(static_cast<VertexId>(v))) {
+          lo = std::min(lo, result.values[u]);
+        }
+        next[v] = lo;
+        local_change |= lo != result.values[v];
       }
-      if (result.values[e.dst] > lo) {
-        result.values[e.dst] = lo;
-        changed = true;
-      }
-    }
+      if (local_change) any_change.store(true, std::memory_order_relaxed);
+    });
+    result.values.swap(next);
+    changed = any_change.load(std::memory_order_relaxed);
     ++result.rounds;
     result.execution_seconds += round_seconds(graph.num_edges());
   }
@@ -92,12 +107,23 @@ SmpResult SmpEngine::pagerank(const Graph& graph, std::uint32_t iterations,
   const VertexId n = graph.num_vertices();
   SmpResult result;
   result.values.assign(n, n == 0 ? 0.0 : 1.0 / n);
+  // Pull form of the push sweep: the in-CSR lists each destination's
+  // contributions in edge order (CsrGraph::build is a stable counting
+  // sort), so per-vertex sums add in exactly the order the sequential
+  // push-based loop did — results are bit-identical to pagerank_reference
+  // while destination chunks parallelise over the pool without races.
+  const CsrGraph in_csr = CsrGraph::build(graph, CsrGraph::Direction::kIn);
   std::vector<double> next(n, 0.0);
   for (std::uint32_t it = 0; it < iterations; ++it) {
-    std::fill(next.begin(), next.end(), (1.0 - damping) / n);
-    for (const Edge& e : graph.edges()) {
-      next[e.dst] += damping * result.values[e.src] / graph.out_degree(e.src);
-    }
+    parallel_for_chunks(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t v = begin; v < end; ++v) {
+        double sum = (1.0 - damping) / n;
+        for (const VertexId u : in_csr.neighbors(static_cast<VertexId>(v))) {
+          sum += damping * result.values[u] / graph.out_degree(u);
+        }
+        next[v] = sum;
+      }
+    });
     result.values.swap(next);
     ++result.rounds;
     result.execution_seconds += round_seconds(graph.num_edges() + n);

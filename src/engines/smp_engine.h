@@ -5,6 +5,11 @@
 // divided over `threads` cores (capped at one simulated node's core count,
 // which is what limits Galois on the paper's largest graphs), with a small
 // contention factor and a per-round synchronisation latency.
+//
+// Reported times come from that cost model; the CC and PageRank sweeps
+// additionally execute on the real shared thread pool (common/parallel.h)
+// in a race-free Jacobi/pull form, so wall-clock time also scales with the
+// host's cores while results stay identical for every thread count.
 #pragma once
 
 #include <cstdint>

@@ -4,31 +4,9 @@
 #include <limits>
 
 #include "common/assert.h"
+#include "partition/eva_scorer.h"
 
 namespace ebv {
-namespace {
-
-/// Dense membership bitmaps for keep[i] — O(1) lookup, p·|V| bytes.
-class KeepSets {
- public:
-  KeepSets(PartitionId parts, VertexId vertices)
-      : vertices_(vertices),
-        bits_(static_cast<std::size_t>(parts) * vertices, 0) {}
-
-  [[nodiscard]] bool contains(PartitionId i, VertexId v) const {
-    return bits_[index(i, v)] != 0;
-  }
-  void insert(PartitionId i, VertexId v) { bits_[index(i, v)] = 1; }
-
- private:
-  [[nodiscard]] std::size_t index(PartitionId i, VertexId v) const {
-    return static_cast<std::size_t>(i) * vertices_ + v;
-  }
-  VertexId vertices_;
-  std::vector<std::uint8_t> bits_;
-};
-
-}  // namespace
 
 EdgePartition EbvPartitioner::partition(const Graph& graph,
                                         const PartitionConfig& config) const {
@@ -42,71 +20,43 @@ EdgePartition EbvPartitioner::partition_traced(
   check_partition_config(graph, config);
   trace.clear();
 
-  const PartitionId p = config.num_parts;
-  const double edges_per_part =
-      static_cast<double>(std::max<EdgeId>(graph.num_edges(), 1)) / p;
-  const double vertices_per_part =
-      static_cast<double>(graph.num_vertices()) / p;
-
-  KeepSets keep(p, graph.num_vertices());
-  std::vector<std::uint64_t> ecount(p, 0);
-  std::vector<std::uint64_t> vcount(p, 0);
+  detail::EvaState state(graph, config);
   std::uint64_t total_replicas = 0;  // Σ vcount[i], for the growth trace
 
   EdgePartition result;
-  result.num_parts = p;
+  result.num_parts = config.num_parts;
   result.part_of_edge.assign(graph.num_edges(), kInvalidPartition);
 
-  const std::vector<EdgeId> order =
-      make_edge_order(graph, config.edge_order, config.seed);
+  const std::vector<EdgeId> order = make_edge_order(
+      graph, config.edge_order, config.seed, config.num_threads);
 
   const EdgeId sample_every =
       num_samples == 0
           ? 0
           : std::max<EdgeId>(1, graph.num_edges() / num_samples);
 
-  EdgeId processed = 0;
-  for (const EdgeId e : order) {
-    const auto [u, v] = graph.edge(e);
+  // Algorithm 1: visit edges in order; score() evaluates every subgraph
+  // (lines 8–15) and returns the argmin with lowest-index tie-breaking.
+  // The candidate scan is chunked over config.num_threads ranks and is
+  // bit-identical to the sequential scan — see eva_scorer.h.
+  detail::with_eva_scorer(state, config.num_threads, [&](auto&& score) {
+    EdgeId processed = 0;
+    for (const EdgeId e : order) {
+      const auto [u, v] = graph.edge(e);
+      const PartitionId best = score(u, v);
+      // Lines 16–22: commit the assignment and update the bookkeeping.
+      result.part_of_edge[e] = best;
+      total_replicas += state.commit(best, u, v);
 
-    // Algorithm 1, lines 8–15: evaluate every subgraph, pick the argmin
-    // (ties broken toward the lowest index, matching a sequential scan).
-    PartitionId best = 0;
-    double best_eva = std::numeric_limits<double>::infinity();
-    for (PartitionId i = 0; i < p; ++i) {
-      double eva = 0.0;
-      if (!keep.contains(i, u)) eva += 1.0;
-      if (!keep.contains(i, v)) eva += 1.0;
-      eva += config.alpha * static_cast<double>(ecount[i]) / edges_per_part;
-      eva += config.beta * static_cast<double>(vcount[i]) / vertices_per_part;
-      if (eva < best_eva) {
-        best_eva = eva;
-        best = i;
+      ++processed;
+      if (sample_every != 0 && (processed % sample_every == 0 ||
+                                processed == graph.num_edges())) {
+        trace.push_back(
+            {processed, static_cast<double>(total_replicas) /
+                            std::max<VertexId>(graph.num_vertices(), 1)});
       }
     }
-
-    // Lines 16–22: commit the assignment and update the bookkeeping.
-    result.part_of_edge[e] = best;
-    ++ecount[best];
-    if (!keep.contains(best, u)) {
-      ++vcount[best];
-      ++total_replicas;
-      keep.insert(best, u);
-    }
-    if (!keep.contains(best, v)) {
-      ++vcount[best];
-      ++total_replicas;
-      keep.insert(best, v);
-    }
-
-    ++processed;
-    if (sample_every != 0 && (processed % sample_every == 0 ||
-                              processed == graph.num_edges())) {
-      trace.push_back(
-          {processed, static_cast<double>(total_replicas) /
-                          std::max<VertexId>(graph.num_vertices(), 1)});
-    }
-  }
+  });
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "partition/eva_scorer.h"
 
 namespace ebv {
 
@@ -14,26 +15,13 @@ EdgePartition StreamingEbvPartitioner::partition(
   check_partition_config(graph, config);
   EBV_REQUIRE(window_ >= 1, "window must be at least 1");
 
-  const PartitionId p = config.num_parts;
-  const double edges_per_part =
-      static_cast<double>(std::max<EdgeId>(graph.num_edges(), 1)) / p;
-  const double vertices_per_part =
-      static_cast<double>(graph.num_vertices()) / p;
-
-  // keep[] bitmaps as in the offline algorithm.
-  std::vector<std::uint8_t> keep(
-      static_cast<std::size_t>(p) * graph.num_vertices(), 0);
-  auto kept = [&](PartitionId i, VertexId v) -> std::uint8_t& {
-    return keep[static_cast<std::size_t>(i) * graph.num_vertices() + v];
-  };
-  std::vector<std::uint64_t> ecount(p, 0);
-  std::vector<std::uint64_t> vcount(p, 0);
+  detail::EvaState state(graph, config);
 
   // Partial degrees: a streaming algorithm only knows what it has seen.
   std::vector<std::uint32_t> partial_degree(graph.num_vertices(), 0);
 
   EdgePartition result;
-  result.num_parts = p;
+  result.num_parts = config.num_parts;
   result.part_of_edge.assign(graph.num_edges(), kInvalidPartition);
 
   // The bounded buffer is a lazy min-heap keyed by the partial-degree sum
@@ -44,60 +32,46 @@ EdgePartition StreamingEbvPartitioner::partition(
   std::priority_queue<BufferEntry, std::vector<BufferEntry>, std::greater<>>
       buffer;
 
-  auto assign = [&](EdgeId e) {
-    const auto [u, v] = graph.edge(e);
-    PartitionId best = 0;
-    double best_eva = std::numeric_limits<double>::infinity();
-    for (PartitionId i = 0; i < p; ++i) {
-      double eva = 0.0;
-      if (kept(i, u) == 0) eva += 1.0;
-      if (kept(i, v) == 0) eva += 1.0;
-      eva += config.alpha * static_cast<double>(ecount[i]) / edges_per_part;
-      eva += config.beta * static_cast<double>(vcount[i]) / vertices_per_part;
-      if (eva < best_eva) {
-        best_eva = eva;
-        best = i;
-      }
-    }
-    result.part_of_edge[e] = best;
-    ++ecount[best];
-    if (kept(best, u) == 0) {
-      kept(best, u) = 1;
-      ++vcount[best];
-    }
-    if (kept(best, v) == 0) {
-      kept(best, v) = 1;
-      ++vcount[best];
-    }
-  };
-
   auto current_key = [&](EdgeId e) {
     const auto [u, v] = graph.edge(e);
     return static_cast<std::uint64_t>(partial_degree[u]) + partial_degree[v];
   };
-  auto flush_smallest = [&] {
-    for (;;) {
-      const auto [key, e] = buffer.top();
-      buffer.pop();
-      const std::uint64_t now = current_key(e);
-      // Stale key that is no longer the minimum: re-queue and retry.
-      if (now > key && !buffer.empty() && now > buffer.top().first) {
-        buffer.push({now, e});
-        continue;
-      }
-      assign(e);
-      return;
-    }
-  };
 
-  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-    const auto [u, v] = graph.edge(e);
-    ++partial_degree[u];
-    ++partial_degree[v];
-    buffer.push({current_key(e), e});
-    if (buffer.size() >= window_) flush_smallest();
-  }
-  while (!buffer.empty()) flush_smallest();
+  // The buffer management stays sequential; the per-edge Eva argmin inside
+  // assign() is the piece that fans out over config.num_threads ranks
+  // (bit-identical to the sequential scan — see eva_scorer.h).
+  detail::with_eva_scorer(state, config.num_threads, [&](auto&& score) {
+    auto assign = [&](EdgeId e) {
+      const auto [u, v] = graph.edge(e);
+      const PartitionId best = score(u, v);
+      result.part_of_edge[e] = best;
+      state.commit(best, u, v);
+    };
+
+    auto flush_smallest = [&] {
+      for (;;) {
+        const auto [key, e] = buffer.top();
+        buffer.pop();
+        const std::uint64_t now = current_key(e);
+        // Stale key that is no longer the minimum: re-queue and retry.
+        if (now > key && !buffer.empty() && now > buffer.top().first) {
+          buffer.push({now, e});
+          continue;
+        }
+        assign(e);
+        return;
+      }
+    };
+
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      const auto [u, v] = graph.edge(e);
+      ++partial_degree[u];
+      ++partial_degree[v];
+      buffer.push({current_key(e), e});
+      if (buffer.size() >= window_) flush_smallest();
+    }
+    while (!buffer.empty()) flush_smallest();
+  });
   return result;
 }
 

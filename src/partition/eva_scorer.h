@@ -1,0 +1,192 @@
+// Shared evaluation-function machinery for the EBV family (Algorithm 1).
+//
+// EvaState owns the bookkeeping both the offline and the streaming variant
+// mutate while assigning edges: the per-part keep[] membership bitmaps and
+// the |Ei| / |Vi| counters behind the balance terms of
+//
+//   Eva(u,v)(i) = I(u ∉ keep[i]) + I(v ∉ keep[i])
+//               + α·ecount[i]/(|E|/p) + β·vcount[i]/(|V|/p).
+//
+// with_eva_scorer() runs a caller-supplied sequential driver and hands it
+// a score(u, v) -> PartitionId callback computing the argmin with
+// lowest-index tie-breaking. With num_threads > 1 the candidate scan is
+// chunked over a resident thread team (two spin-barrier handshakes per
+// scored edge); each rank scans its chunk in ascending part order with a
+// strict '<' and the rank-0 reduction prefers the lowest-index chunk, so
+// the result is bit-identical to the sequential scan for every team size —
+// the property the parallel-determinism tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/parallel.h"
+#include "partition/partitioner.h"
+
+namespace ebv::detail {
+
+struct EvaState {
+  PartitionId num_parts = 0;
+  VertexId num_vertices = 0;
+  double alpha = 1.0;
+  double beta = 1.0;
+  double edges_per_part = 1.0;
+  double vertices_per_part = 1.0;
+
+  std::vector<std::uint8_t> keep;  // part-major, num_parts × num_vertices
+  std::vector<std::uint64_t> ecount;
+  std::vector<std::uint64_t> vcount;
+
+  EvaState(const Graph& graph, const PartitionConfig& config)
+      : num_parts(config.num_parts),
+        num_vertices(graph.num_vertices()),
+        alpha(config.alpha),
+        beta(config.beta),
+        edges_per_part(
+            static_cast<double>(std::max<EdgeId>(graph.num_edges(), 1)) /
+            config.num_parts),
+        vertices_per_part(static_cast<double>(graph.num_vertices()) /
+                          config.num_parts),
+        keep(static_cast<std::size_t>(config.num_parts) *
+                 graph.num_vertices(),
+             0),
+        ecount(config.num_parts, 0),
+        vcount(config.num_parts, 0) {}
+
+  [[nodiscard]] bool kept(PartitionId i, VertexId v) const {
+    return keep[static_cast<std::size_t>(i) * num_vertices + v] != 0;
+  }
+
+  [[nodiscard]] double eva(PartitionId i, VertexId u, VertexId v) const {
+    double e = 0.0;
+    if (!kept(i, u)) e += 1.0;
+    if (!kept(i, v)) e += 1.0;
+    e += alpha * static_cast<double>(ecount[i]) / edges_per_part;
+    e += beta * static_cast<double>(vcount[i]) / vertices_per_part;
+    return e;
+  }
+
+  /// Argmin over parts [lo, hi) with lowest-index tie-breaking;
+  /// eva_out = +inf when the range is empty.
+  [[nodiscard]] PartitionId best_in_range(VertexId u, VertexId v,
+                                          PartitionId lo, PartitionId hi,
+                                          double& eva_out) const {
+    PartitionId best = lo;
+    double best_eva = std::numeric_limits<double>::infinity();
+    for (PartitionId i = lo; i < hi; ++i) {
+      const double e = eva(i, u, v);
+      if (e < best_eva) {
+        best_eva = e;
+        best = i;
+      }
+    }
+    eva_out = best_eva;
+    return best;
+  }
+
+  [[nodiscard]] PartitionId best_sequential(VertexId u, VertexId v) const {
+    double unused = 0.0;
+    return best_in_range(u, v, 0, num_parts, unused);
+  }
+
+  /// Commit edge (u, v) to part `best`; returns how many of its endpoints
+  /// became new replicas (0, 1 or 2).
+  unsigned commit(PartitionId best, VertexId u, VertexId v) {
+    ++ecount[best];
+    unsigned new_replicas = 0;
+    auto cover = [&](VertexId w) {
+      std::uint8_t& bit =
+          keep[static_cast<std::size_t>(best) * num_vertices + w];
+      if (bit == 0) {
+        bit = 1;
+        ++vcount[best];
+        ++new_replicas;
+      }
+    };
+    cover(u);
+    if (v != u) cover(v);
+    return new_replicas;
+  }
+};
+
+/// Run driver(score) where score(u, v) is the deterministic Eva argmin.
+/// The driver itself stays sequential (edge t+1 depends on the commit of
+/// edge t); only the per-edge candidate scan is spread over `num_threads`
+/// ranks (oversubscription beyond the pool is carried by run_team).
+template <typename Driver>
+void with_eva_scorer(EvaState& state, std::uint32_t num_threads,
+                     Driver&& driver) {
+  ThreadPool& pool = ThreadPool::global();
+  const unsigned team = std::max<std::uint32_t>(num_threads, 1);
+  if (team <= 1 || state.num_parts < 2 || ThreadPool::inside_pool_body()) {
+    driver([&state](VertexId u, VertexId v) {
+      return state.best_sequential(u, v);
+    });
+    return;
+  }
+
+  struct alignas(64) Slot {
+    double eva = 0.0;
+    PartitionId part = 0;
+  };
+  std::vector<Slot> slots(team);
+  SpinBarrier barrier(team);
+  VertexId shared_u = 0;
+  VertexId shared_v = 0;
+  bool done = false;
+
+  auto chunk_lo = [&](unsigned rank) {
+    return static_cast<PartitionId>(
+        static_cast<std::uint64_t>(state.num_parts) * rank / team);
+  };
+
+  pool.run_team(team, [&](unsigned rank, unsigned actual_team) {
+    EBV_ASSERT(actual_team == team);
+    auto score_chunk = [&](unsigned r) {
+      slots[r].part = state.best_in_range(shared_u, shared_v, chunk_lo(r),
+                                          chunk_lo(r + 1), slots[r].eva);
+    };
+    if (rank == 0) {
+      auto score = [&](VertexId u, VertexId v) {
+        shared_u = u;
+        shared_v = v;
+        barrier.arrive_and_wait();  // publish the edge to the team
+        score_chunk(0);
+        barrier.arrive_and_wait();  // collect every chunk's candidate
+        double best_eva = std::numeric_limits<double>::infinity();
+        PartitionId best = 0;
+        for (unsigned r = 0; r < team; ++r) {
+          if (slots[r].eva < best_eva) {
+            best_eva = slots[r].eva;
+            best = slots[r].part;
+          }
+        }
+        return best;
+      };
+      // Release the team even when the driver throws between score()
+      // calls (score() itself does not throw) — otherwise ranks 1..team-1
+      // would spin at the top-of-loop barrier forever.
+      try {
+        driver(score);
+      } catch (...) {
+        done = true;
+        barrier.arrive_and_wait();
+        throw;  // rethrown to the caller by run_team
+      }
+      done = true;
+      barrier.arrive_and_wait();  // release the team
+    } else {
+      for (;;) {
+        barrier.arrive_and_wait();
+        if (done) break;
+        score_chunk(rank);
+        barrier.arrive_and_wait();
+      }
+    }
+  });
+}
+
+}  // namespace ebv::detail

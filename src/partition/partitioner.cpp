@@ -4,24 +4,83 @@
 #include <numeric>
 
 #include "common/assert.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace ebv {
+namespace {
+
+/// Sort `ids` under the strict total order `less`, either sequentially or
+/// as a chunk-sort + pairwise-merge over the global pool. The comparator
+/// admits exactly one sorted permutation, so every strategy produces the
+/// same sequence.
+template <typename Less>
+void sort_ids(std::vector<EdgeId>& ids, std::uint32_t num_threads,
+              const Less& less) {
+  ThreadPool& pool = ThreadPool::global();
+  const unsigned team = std::max<std::uint32_t>(num_threads, 1);
+  if (team <= 1 || ids.size() < 1u << 14 || ThreadPool::inside_pool_body()) {
+    std::sort(ids.begin(), ids.end(), less);
+    return;
+  }
+  std::vector<std::size_t> bounds(team + 1);
+  for (unsigned t = 0; t <= team; ++t) {
+    bounds[t] = ids.size() * t / team;
+  }
+  pool.run_team(team, [&](unsigned rank, unsigned) {
+    std::sort(ids.begin() + static_cast<std::ptrdiff_t>(bounds[rank]),
+              ids.begin() + static_cast<std::ptrdiff_t>(bounds[rank + 1]),
+              less);
+  });
+  for (unsigned width = 1; width < team; width *= 2) {
+    for (unsigned t = 0; t + width < team; t += 2 * width) {
+      const std::size_t lo = bounds[t];
+      const std::size_t mid = bounds[t + width];
+      const std::size_t hi = bounds[std::min(t + 2 * width, team)];
+      std::inplace_merge(ids.begin() + static_cast<std::ptrdiff_t>(lo),
+                         ids.begin() + static_cast<std::ptrdiff_t>(mid),
+                         ids.begin() + static_cast<std::ptrdiff_t>(hi), less);
+    }
+  }
+}
+
+}  // namespace
 
 std::vector<EdgeId> make_edge_order(const Graph& graph, EdgeOrder order,
-                                    std::uint64_t seed) {
+                                    std::uint64_t seed,
+                                    std::uint32_t num_threads) {
   std::vector<EdgeId> ids(graph.num_edges());
   std::iota(ids.begin(), ids.end(), EdgeId{0});
+  if (order == EdgeOrder::kNatural) return ids;
+  if (order == EdgeOrder::kRandom) {
+    Rng rng(derive_seed(seed, 0x0E));
+    std::shuffle(ids.begin(), ids.end(), rng);
+    return ids;
+  }
 
-  auto degree_sum = [&](EdgeId e) {
-    const Edge& edge = graph.edge(e);
-    return static_cast<std::uint64_t>(graph.degree(edge.src)) +
-           graph.degree(edge.dst);
+  // Precompute the degree-sum keys once (the comparator used to recompute
+  // two degrees per comparison); filled index-wise, so the parallel fill
+  // is deterministic. num_threads == 1 means fully sequential — callers
+  // that never asked for parallelism must not fan out over the pool. Any
+  // value > 1 opts into the shared pool's dynamic chunking (the pool's
+  // size, not num_threads, bounds the fan-out here — unlike the scoring
+  // team, which honours the exact count).
+  std::vector<std::uint64_t> keys(graph.num_edges());
+  const auto fill_keys = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t e = begin; e < end; ++e) {
+      const Edge& edge = graph.edge(e);
+      keys[e] = static_cast<std::uint64_t>(graph.degree(edge.src)) +
+                graph.degree(edge.dst);
+    }
   };
+  if (num_threads > 1) {
+    parallel_for_chunks(graph.num_edges(), fill_keys, 1u << 14);
+  } else {
+    fill_keys(0, graph.num_edges());
+  }
+
   auto key_less = [&](EdgeId a, EdgeId b) {
-    const auto da = degree_sum(a);
-    const auto db = degree_sum(b);
-    if (da != db) return da < db;
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
     const Edge& ea = graph.edge(a);
     const Edge& eb = graph.edge(b);
     if (ea.src != eb.src) return ea.src < eb.src;
@@ -29,21 +88,11 @@ std::vector<EdgeId> make_edge_order(const Graph& graph, EdgeOrder order,
     return a < b;
   };
 
-  switch (order) {
-    case EdgeOrder::kNatural:
-      break;
-    case EdgeOrder::kSortedAscending:
-      std::sort(ids.begin(), ids.end(), key_less);
-      break;
-    case EdgeOrder::kSortedDescending:
-      std::sort(ids.begin(), ids.end(),
-                [&](EdgeId a, EdgeId b) { return key_less(b, a); });
-      break;
-    case EdgeOrder::kRandom: {
-      Rng rng(derive_seed(seed, 0x0E));
-      std::shuffle(ids.begin(), ids.end(), rng);
-      break;
-    }
+  if (order == EdgeOrder::kSortedAscending) {
+    sort_ids(ids, num_threads, key_less);
+  } else {
+    sort_ids(ids, num_threads,
+             [&](EdgeId a, EdgeId b) { return key_less(b, a); });
   }
   return ids;
 }

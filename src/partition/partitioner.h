@@ -36,6 +36,12 @@ struct PartitionConfig {
   /// Seed for any randomised decision (hash salts, random order, NE start
   /// vertices, METIS tie-breaking).
   std::uint64_t seed = 42;
+
+  /// Worker threads used by partitioners that support intra-partition
+  /// parallelism (EBV's chunked candidate scoring, parallel edge sorting);
+  /// 1 = sequential. Results are bit-identical for every value — see
+  /// eva_scorer.h.
+  std::uint32_t num_threads = 1;
 };
 
 /// Result of a vertex-cut partitioning: part_of_edge[e] is the subgraph of
@@ -60,8 +66,12 @@ class Partitioner {
 
 /// Materialise the edge-visit order requested by `order`. Sorting is stable
 /// with (degree-sum, src, dst) tie-breaking so results are deterministic.
+/// With num_threads > 1 the sort runs as chunk-sort + merge on the global
+/// pool; the comparator is a strict total order, so the output is identical
+/// to the sequential sort for every thread count.
 std::vector<EdgeId> make_edge_order(const Graph& graph, EdgeOrder order,
-                                    std::uint64_t seed);
+                                    std::uint64_t seed,
+                                    std::uint32_t num_threads = 1);
 
 /// Validate common preconditions shared by all partitioners.
 void check_partition_config(const Graph& graph, const PartitionConfig& config);

@@ -1,0 +1,112 @@
+// Golden-quality regression pins for every registered partitioner.
+//
+// A fixed-seed Chung-Lu graph is partitioned into 8 parts and the paper's
+// three quality metrics (§III-C) are compared against recorded values. A
+// refactor that silently changes assignment behaviour (tie-breaking, visit
+// order, score arithmetic) moves these metrics by far more than the 1e-6
+// tolerance, which in turn only absorbs last-ulp arithmetic differences
+// between compilers. Regenerate the table with
+// tools-level code if an intentional algorithm change lands:
+//   partition chung_lu(3000, 24000, 2.3, false, 7) with num_parts=8,
+//   seed=7, defaults otherwise, and print compute_metrics at %.17g.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "graph/generators.h"
+#include "partition/metrics.h"
+#include "partition/registry.h"
+
+namespace ebv {
+namespace {
+
+struct GoldenMetrics {
+  double replication_factor;
+  double edge_imbalance;
+  double vertex_imbalance;
+};
+
+const std::map<std::string, GoldenMetrics>& golden_table() {
+  static const std::map<std::string, GoldenMetrics> table = {
+      {"ebv", {2.5176666666666665, 1.0376666666666667, 1.0115186018800477}},
+      {"ebv-stream",
+       {2.6703333333333332, 1.0169999999999999, 1.0126076644613655}},
+      {"ebv-dist", {3.7273333333333332, 1.359, 1.073868717581828}},
+      {"ginger", {2.819, 1.0760000000000001, 1.0320444602104766}},
+      {"dbh", {2.9463333333333335, 1.081, 1.0498925217784818}},
+      {"cvc", {3.8676666666666666, 1.1966666666666668, 1.0411100577436869}},
+      {"ne", {2.6463333333333332, 1.0, 1.6455472981483814}},
+      {"metis", {3.7013333333333334, 1.744, 1.5021613832853027}},
+      {"hdrf", {2.4936666666666665, 1.0, 1.0212538430691085}},
+      {"fennel", {3.0896666666666666, 4.2523333333333335, 2.3277591973244145}},
+      {"random", {5.4139999999999997, 1.026, 1.021549070311538}},
+      {"hash", {5.4240000000000004, 1.0269999999999999, 1.0206489675516224}},
+  };
+  return table;
+}
+
+const Graph& golden_graph() {
+  static const Graph g = gen::chung_lu(3000, 24000, 2.3, false, 7);
+  return g;
+}
+
+PartitionConfig golden_config() {
+  PartitionConfig config;
+  config.num_parts = 8;
+  config.seed = 7;
+  return config;
+}
+
+TEST(GoldenDeterminism, EveryRegisteredPartitionerIsPinned) {
+  // A new partitioner must come with a golden row (and vice versa).
+  EXPECT_EQ(all_partitioners().size(), golden_table().size());
+  for (const std::string& name : all_partitioners()) {
+    EXPECT_TRUE(golden_table().count(name) != 0)
+        << "no golden metrics recorded for '" << name << "'";
+  }
+}
+
+class GoldenPartitioner : public testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenPartitioner, QualityMetricsMatchRecordedValues) {
+  const std::string name = GetParam();
+  ASSERT_TRUE(golden_table().count(name) != 0);
+  const GoldenMetrics& golden = golden_table().at(name);
+
+  const Graph& g = golden_graph();
+  const EdgePartition part =
+      make_partitioner(name)->partition(g, golden_config());
+  ASSERT_EQ(part.part_of_edge.size(), g.num_edges());
+  const PartitionMetrics m = compute_metrics(g, part);
+
+  constexpr double kTol = 1e-6;
+  EXPECT_NEAR(m.replication_factor, golden.replication_factor, kTol)
+      << name << ": replication factor drifted";
+  EXPECT_NEAR(m.edge_imbalance, golden.edge_imbalance, kTol)
+      << name << ": edge imbalance drifted";
+  EXPECT_NEAR(m.vertex_imbalance, golden.vertex_imbalance, kTol)
+      << name << ": vertex imbalance drifted";
+}
+
+TEST_P(GoldenPartitioner, RepeatedRunsAreIdentical) {
+  const std::string name = GetParam();
+  const Graph& g = golden_graph();
+  const EdgePartition a = make_partitioner(name)->partition(g, golden_config());
+  const EdgePartition b = make_partitioner(name)->partition(g, golden_config());
+  EXPECT_EQ(a.part_of_edge, b.part_of_edge)
+      << name << " is not deterministic under a fixed seed";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPartitioners, GoldenPartitioner,
+                         testing::ValuesIn(all_partitioners()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           std::string id = info.param;
+                           for (char& c : id) {
+                             if (c == '-') c = '_';
+                           }
+                           return id;
+                         });
+
+}  // namespace
+}  // namespace ebv

@@ -127,6 +127,8 @@ int cmd_partition(const ArgMap& args) {
   config.alpha = std::stod(get(args, "alpha", "1.0"));
   config.beta = std::stod(get(args, "beta", "1.0"));
   config.seed = std::stoull(get(args, "seed", "42"));
+  config.num_threads =
+      static_cast<std::uint32_t>(std::stoul(get(args, "threads", "1")));
   const std::string order = get(args, "order", "sorted");
   if (order == "sorted") {
     config.edge_order = EdgeOrder::kSortedAscending;
@@ -149,6 +151,7 @@ int cmd_partition(const ArgMap& args) {
   analysis::Table table({"metric", "value"});
   table.add_row({"algorithm", algo});
   table.add_row({"parts", std::to_string(config.num_parts)});
+  table.add_row({"threads", std::to_string(config.num_threads)});
   table.add_row({"partitioning time", format_duration(elapsed)});
   table.add_row({"edge imbalance", format_fixed(m.edge_imbalance, 3)});
   table.add_row({"vertex imbalance", format_fixed(m.vertex_imbalance, 3)});
@@ -174,15 +177,26 @@ int cmd_run(const ArgMap& args) {
     throw std::invalid_argument("unknown app: " + app_name);
   }
 
+  // --threads > 1 fans the BSP computation stage out over the shared
+  // thread pool (sized by EBV_THREADS / hardware concurrency — the value
+  // of T only selects the policy); results are identical to the
+  // sequential policy.
+  bsp::RunOptions options;
+  const auto threads =
+      static_cast<std::uint32_t>(std::stoul(get(args, "threads", "1")));
+  if (threads > 1) options.policy = bsp::ExecutionPolicy::kParallel;
+
   analysis::ExperimentResult result;
   if (args.count("partition") != 0) {
     const EdgePartition partition =
         io::read_partition_binary_file(args.at("partition"));
-    result = analysis::run_with_partition(graph, partition, "file", app);
+    result =
+        analysis::run_with_partition(graph, partition, "file", app, options);
   } else {
     result = analysis::run_experiment(
         graph, get(args, "algo", "ebv"),
-        static_cast<PartitionId>(std::stoul(get(args, "parts", "8"))), app);
+        static_cast<PartitionId>(std::stoul(get(args, "parts", "8"))), app,
+        options);
   }
 
   analysis::Table table({"metric", "value"});
@@ -209,7 +223,8 @@ int usage() {
          "  stats     --graph g.ebvg [--deep 1]\n"
          "  partition --graph g.ebvg --algo ebv --parts 8 [--out p.ebvp]\n"
          "            [--alpha A --beta B --order sorted|natural|desc|random]\n"
-         "  run       --graph g.ebvg --app cc|pr|sssp\n"
+         "            [--threads T]\n"
+         "  run       --graph g.ebvg --app cc|pr|sssp [--threads T]\n"
          "            (--partition p.ebvp | --algo ebv --parts 8)\n";
   return 2;
 }
