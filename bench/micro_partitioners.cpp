@@ -6,6 +6,7 @@
 #include "bsp/distributed_graph.h"
 #include "graph/csr.h"
 #include "graph/generators.h"
+#include "partition/eva_scorer.h"
 #include "partition/metrics.h"
 #include "partition/registry.h"
 
@@ -35,6 +36,36 @@ void BM_Partitioner(benchmark::State& state, const std::string& name) {
 const Graph& big_graph() {
   static const Graph g = gen::chung_lu(100'000, 1'000'000, 2.3, false, 42);
   return g;
+}
+
+// The Eva scoring core in isolation (no edge sort): assign every edge of
+// the 1M-edge graph in natural order through run_eva_scoring. Args are
+// {num_threads, batch}; {1, 1} is the serial row the BENCH_partition.json
+// trajectory tracks in edges/sec.
+void BM_EvaScore(benchmark::State& state) {
+  const Graph& g = big_graph();
+  PartitionConfig config;
+  config.num_parts = 64;
+  config.num_threads = static_cast<std::uint32_t>(state.range(0));
+  config.batch_size = static_cast<std::uint32_t>(state.range(1));
+  for (auto _ : state) {
+    detail::EvaState eva(g, config);
+    EdgeId next = 0;
+    std::uint64_t committed = 0;
+    detail::run_eva_scoring(
+        eva, config.num_threads, config.batch_size,
+        [&](VertexId& u, VertexId& v) {
+          if (next == g.num_edges()) return false;
+          const auto [src, dst] = g.edge(next++);
+          u = src;
+          v = dst;
+          return true;
+        },
+        [&](PartitionId best, unsigned) { committed += best; });
+    benchmark::DoNotOptimize(committed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
 }
 
 void BM_EbvThreads(benchmark::State& state) {
@@ -103,6 +134,13 @@ BENCHMARK_CAPTURE(BM_Partitioner, metis, std::string("metis"))->Arg(16);
 BENCHMARK_CAPTURE(BM_Partitioner, hdrf, std::string("hdrf"))->Arg(16);
 BENCHMARK_CAPTURE(BM_Partitioner, ebv_p4, std::string("ebv"))->Arg(4);
 BENCHMARK_CAPTURE(BM_Partitioner, ebv_p64, std::string("ebv"))->Arg(64);
+BENCHMARK(BM_EvaScore)
+    ->Args({1, 1})
+    ->Args({2, 256})
+    ->Args({4, 256})
+    ->Args({4, 4096})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 BENCHMARK(BM_EbvThreads)
     ->Arg(1)
     ->Arg(2)

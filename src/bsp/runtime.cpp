@@ -80,10 +80,25 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
     if (options_.policy == ExecutionPolicy::kParallel && p > 1) {
       // Workers touch disjoint state, so the superstep fans out over the
       // shared pool (the seed spawned p fresh threads every superstep);
-      // results are identical to the sequential policy.
-      parallel_for(
-          p, [&](std::size_t i) { run_worker(static_cast<PartitionId>(i)); },
-          1);
+      // results are identical to the sequential policy. A non-zero
+      // options_.num_threads bounds the fan-out exactly (strided worker
+      // assignment keeps every rank's share deterministic, though results
+      // do not depend on the mapping).
+      if (options_.num_threads > 0) {
+        const unsigned team = static_cast<unsigned>(
+            std::min<std::uint64_t>(options_.num_threads, p));
+        if (team <= 1) {
+          for (PartitionId i = 0; i < p; ++i) run_worker(i);
+        } else {
+          ThreadPool::global().run_team(team, [&](unsigned rank, unsigned t) {
+            for (PartitionId i = rank; i < p; i += t) run_worker(i);
+          });
+        }
+      } else {
+        parallel_for(
+            p, [&](std::size_t i) { run_worker(static_cast<PartitionId>(i)); },
+            1);
+      }
     } else {
       for (PartitionId i = 0; i < p; ++i) run_worker(i);
     }

@@ -114,6 +114,10 @@ struct RunOptions {
   /// Hard cap to guard against non-converging programs.
   std::uint32_t max_supersteps = 10'000;
   ExecutionPolicy policy = ExecutionPolicy::kSequential;
+  /// Upper bound on the kParallel computation stage's fan-out (same rule
+  /// as PartitionConfig::num_threads: the knob bounds the stage exactly,
+  /// the shared pool only carries the ranks). 0 = use the whole pool.
+  std::uint32_t num_threads = 0;
 };
 
 class BspRuntime {

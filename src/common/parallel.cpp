@@ -16,6 +16,11 @@ namespace {
 /// thread run inline to avoid deadlock (the pool has one job at a time).
 thread_local bool t_inside_pool_body = false;
 
+/// Explicit size request for the lazily created global pool, and whether
+/// the pool has been created (after which requests can no longer apply).
+std::atomic<unsigned> g_requested_global_threads{0};
+std::atomic<bool> g_global_pool_created{false};
+
 }  // namespace
 
 unsigned hardware_threads() {
@@ -239,6 +244,12 @@ bool ThreadPool::inside_pool_body() { return t_inside_pool_body; }
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool([] {
+    g_global_pool_created.store(true, std::memory_order_release);
+    if (const unsigned requested =
+            g_requested_global_threads.load(std::memory_order_acquire);
+        requested > 0) {
+      return requested;
+    }
     if (const char* env = std::getenv("EBV_THREADS")) {
       const long parsed = std::strtol(env, nullptr, 10);
       if (parsed > 0) return static_cast<unsigned>(parsed);
@@ -246,6 +257,15 @@ ThreadPool& ThreadPool::global() {
     return hardware_threads();
   }());
   return pool;
+}
+
+bool ThreadPool::set_global_threads(unsigned num_threads) {
+  if (num_threads == 0) return false;
+  if (g_global_pool_created.load(std::memory_order_acquire)) {
+    return global().num_threads() == num_threads;
+  }
+  g_requested_global_threads.store(num_threads, std::memory_order_release);
+  return true;
 }
 
 }  // namespace ebv

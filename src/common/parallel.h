@@ -18,10 +18,14 @@
 // on the calling thread after the job drains. Nested use from inside a
 // pool body degrades to serial inline execution instead of deadlocking.
 //
-// The process-wide pool (ThreadPool::global()) is sized from the
-// EBV_THREADS environment variable, defaulting to the hardware thread
-// count. Components that take an explicit thread knob (PartitionConfig::
-// num_threads, bsp::RunOptions) clamp against the global pool size.
+// The process-wide pool (ThreadPool::global()) is created lazily, sized
+// by set_global_threads() when requested before first use, else the
+// EBV_THREADS environment variable, else the hardware thread count.
+// Components that take an explicit thread knob (PartitionConfig::
+// num_threads, bsp::RunOptions::num_threads) treat it as an exact bound
+// on their fan-out; the pool only carries the ranks (run_team serves
+// teams beyond the pool size with temporary threads), so the pool size
+// never silently caps a knob.
 #pragma once
 
 #include <atomic>
@@ -92,6 +96,14 @@ class ThreadPool {
 
   /// Process-wide pool (EBV_THREADS env or hardware_concurrency).
   static ThreadPool& global();
+
+  /// Explicitly size the process-wide pool (overrides EBV_THREADS and the
+  /// hardware default). The pool is created lazily, so this only takes
+  /// effect when called before the first global() use — e.g. by a CLI
+  /// front end right after parsing --threads. Returns true when the
+  /// request will be (or already is) honoured; false when the pool is
+  /// already running at a different size. num_threads == 0 is rejected.
+  static bool set_global_threads(unsigned num_threads);
 
   /// True while the calling thread executes a pool body. run_team() from
   /// such a thread degrades to a team of one; callers that size external

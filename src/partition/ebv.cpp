@@ -35,28 +35,35 @@ EdgePartition EbvPartitioner::partition_traced(
           ? 0
           : std::max<EdgeId>(1, graph.num_edges() / num_samples);
 
-  // Algorithm 1: visit edges in order; score() evaluates every subgraph
-  // (lines 8–15) and returns the argmin with lowest-index tie-breaking.
-  // The candidate scan is chunked over config.num_threads ranks and is
-  // bit-identical to the sequential scan — see eva_scorer.h.
-  detail::with_eva_scorer(state, config.num_threads, [&](auto&& score) {
-    EdgeId processed = 0;
-    for (const EdgeId e : order) {
-      const auto [u, v] = graph.edge(e);
-      const PartitionId best = score(u, v);
-      // Lines 16–22: commit the assignment and update the bookkeeping.
-      result.part_of_edge[e] = best;
-      total_replicas += state.commit(best, u, v);
-
-      ++processed;
-      if (sample_every != 0 && (processed % sample_every == 0 ||
-                                processed == graph.num_edges())) {
-        trace.push_back(
-            {processed, static_cast<double>(total_replicas) /
-                            std::max<VertexId>(graph.num_vertices(), 1)});
-      }
-    }
-  });
+  // Algorithm 1: visit edges in order; the scoring core evaluates every
+  // subgraph (lines 8–15), picks the argmin with lowest-index tie-breaking
+  // and applies the commit (lines 16–22). With num_threads > 1 the core
+  // runs batched speculative team scoring, bit-identical to the sequential
+  // scan for every (threads, batch) — see eva_scorer.h. Edges are pulled
+  // in `order` and committed in the same order, so the sink tracks its own
+  // cursor into `order`.
+  std::size_t pull_pos = 0;
+  std::size_t commit_pos = 0;
+  detail::run_eva_scoring(
+      state, config.num_threads, config.batch_size,
+      [&](VertexId& u, VertexId& v) {
+        if (pull_pos == order.size()) return false;
+        const auto [src, dst] = graph.edge(order[pull_pos++]);
+        u = src;
+        v = dst;
+        return true;
+      },
+      [&](PartitionId best, unsigned new_replicas) {
+        result.part_of_edge[order[commit_pos++]] = best;
+        total_replicas += new_replicas;
+        const EdgeId processed = commit_pos;
+        if (sample_every != 0 && (processed % sample_every == 0 ||
+                                  processed == graph.num_edges())) {
+          trace.push_back(
+              {processed, static_cast<double>(total_replicas) /
+                              std::max<VertexId>(graph.num_vertices(), 1)});
+        }
+      });
   return result;
 }
 

@@ -37,41 +37,54 @@ EdgePartition StreamingEbvPartitioner::partition(
     return static_cast<std::uint64_t>(partial_degree[u]) + partial_degree[v];
   };
 
-  // The buffer management stays sequential; the per-edge Eva argmin inside
-  // assign() is the piece that fans out over config.num_threads ranks
-  // (bit-identical to the sequential scan — see eva_scorer.h).
-  detail::with_eva_scorer(state, config.num_threads, [&](auto&& score) {
-    auto assign = [&](EdgeId e) {
-      const auto [u, v] = graph.edge(e);
-      const PartitionId best = score(u, v);
-      result.part_of_edge[e] = best;
-      state.commit(best, u, v);
-    };
-
-    auto flush_smallest = [&] {
-      for (;;) {
-        const auto [key, e] = buffer.top();
-        buffer.pop();
-        const std::uint64_t now = current_key(e);
-        // Stale key that is no longer the minimum: re-queue and retry.
-        if (now > key && !buffer.empty() && now > buffer.top().first) {
-          buffer.push({now, e});
-          continue;
-        }
-        assign(e);
-        return;
+  // Pop the buffered edge with the smallest (ingestion-time) partial-degree
+  // sum. Keys depend only on how far the stream has been ingested, never on
+  // assignment results, so the pop sequence is a pure function of the
+  // ingestion sequence — the property that lets the scoring core pull
+  // edges ahead of their commits for batched speculative scoring.
+  auto pop_smallest = [&] {
+    for (;;) {
+      const auto [key, e] = buffer.top();
+      buffer.pop();
+      const std::uint64_t now = current_key(e);
+      // Stale key that is no longer the minimum: re-queue and retry.
+      if (now > key && !buffer.empty() && now > buffer.top().first) {
+        buffer.push({now, e});
+        continue;
       }
-    };
-
-    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-      const auto [u, v] = graph.edge(e);
-      ++partial_degree[u];
-      ++partial_degree[v];
-      buffer.push({current_key(e), e});
-      if (buffer.size() >= window_) flush_smallest();
+      return e;
     }
-    while (!buffer.empty()) flush_smallest();
-  });
+  };
+
+  // The source is a generator reproducing the seed's exact interleaving
+  // (ingest one edge; flush one when the buffer reaches the window; drain
+  // at end-of-stream), produced lazily one assignment at a time. Edges are
+  // committed in production order, so the sink matches results to edge ids
+  // through the `pending` FIFO.
+  EdgeId stream_pos = 0;
+  std::queue<EdgeId> pending;
+  detail::run_eva_scoring(
+      state, config.num_threads, config.batch_size,
+      [&](VertexId& u, VertexId& v) {
+        while (stream_pos < graph.num_edges() && buffer.size() < window_) {
+          const EdgeId e = stream_pos++;
+          const auto [s, d] = graph.edge(e);
+          ++partial_degree[s];
+          ++partial_degree[d];
+          buffer.push({current_key(e), e});
+        }
+        if (buffer.empty()) return false;
+        const EdgeId e = pop_smallest();
+        pending.push(e);
+        const auto [s, d] = graph.edge(e);
+        u = s;
+        v = d;
+        return true;
+      },
+      [&](PartitionId best, unsigned) {
+        result.part_of_edge[pending.front()] = best;
+        pending.pop();
+      });
   return result;
 }
 

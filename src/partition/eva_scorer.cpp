@@ -1,0 +1,134 @@
+// Batched speculative team scoring for the Eva core (see eva_scorer.h).
+//
+// Protocol per block (two barrier handshakes per block of ≤B edges,
+// versus the seed's two handshakes per EDGE):
+//
+//   rank 0:  pull up to B edges from the source          (team waits at A)
+//   A:       publish the block
+//   all:     speculatively score a contiguous share of the block against
+//            the frozen (masks, load) snapshot — full argmin over all p
+//            parts per edge
+//   B:       collect every speculative (part, eva)
+//   rank 0:  replay the block sequentially, committing edge by edge
+//
+// Replay validation. Let D_j be the "dirty" parts — parts that received a
+// commit for an earlier edge of this block. Commits only ever (a) grow a
+// part's load terms and (b) set membership bits on the RECEIVING part, so
+// for every part outside D_j the live Eva score equals its snapshot score.
+// Three exact cases:
+//   · D_j empty             → the speculative argmin IS the live argmin.
+//   · winner ∉ D_j          → the winner is still the lowest-index argmin
+//                             over the clean parts (it was the global
+//                             snapshot argmin and clean scores did not
+//                             move); folding in the ≤|block| dirty parts'
+//                             live scores with lowest-index tie-breaking
+//                             reconstructs the exact live argmin.
+//   · winner ∈ D_j          → the clean-part minimum is unknown; rescore
+//                             the edge in full against the live state.
+// Every accepted value therefore equals what the sequential scan would
+// have produced — bit-identical output for any (team, batch).
+#include "partition/eva_scorer.h"
+
+#include <algorithm>
+
+namespace ebv::detail {
+
+void run_eva_scoring_team(EvaState& state, unsigned team, std::uint32_t batch,
+                          EdgeSource& source) {
+  EBV_ASSERT(team >= 2);
+  const std::uint32_t block = std::max<std::uint32_t>(batch, 1);
+
+  // Shared block buffers: written by rank 0 before barrier A, read by the
+  // team between A and B; speculative results written between A and B,
+  // read by rank 0 after B. The barriers order every access.
+  std::vector<VertexId> us(block);
+  std::vector<VertexId> vs(block);
+  std::vector<PartitionId> spec_part(block);
+  std::vector<double> spec_eva(block);
+  std::uint32_t count = 0;
+  bool done = false;
+  SpinBarrier barrier(team);
+
+  // Dirty-part tracking for the replay: parts committed during the current
+  // block, stamped so membership tests are O(1) and reset is O(1).
+  std::vector<std::uint64_t> dirty_stamp(state.num_parts, 0);
+  std::vector<PartitionId> dirty;
+  dirty.reserve(block);
+  std::uint64_t epoch = 0;
+
+  auto score_share = [&](unsigned rank) {
+    const std::uint32_t lo = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(count) * rank / team);
+    const std::uint32_t hi = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(count) * (rank + 1) / team);
+    for (std::uint32_t j = lo; j < hi; ++j) {
+      spec_part[j] = state.best_part(us[j], vs[j], &spec_eva[j]);
+    }
+  };
+
+  ThreadPool::global().run_team(team, [&](unsigned rank, unsigned actual) {
+    EBV_ASSERT(actual == team);
+    if (rank == 0) {
+      // Release the team even when the driver throws (from next() or
+      // on_commit()) — both run while ranks 1..team-1 wait at barrier A,
+      // so one poisoned arrival unblocks everyone.
+      try {
+        for (;;) {
+          count = 0;
+          VertexId u = 0;
+          VertexId v = 0;
+          while (count < block && source.next(u, v)) {
+            us[count] = u;
+            vs[count] = v;
+            ++count;
+          }
+          if (count == 0) break;
+          barrier.arrive_and_wait();  // A: publish the block
+          score_share(0);
+          barrier.arrive_and_wait();  // B: collect speculative results
+          ++epoch;
+          dirty.clear();
+          for (std::uint32_t j = 0; j < count; ++j) {
+            PartitionId best;
+            if (dirty.empty()) {
+              best = spec_part[j];
+            } else if (dirty_stamp[spec_part[j]] == epoch) {
+              best = state.best_part(us[j], vs[j]);
+            } else {
+              best = spec_part[j];
+              double best_eva = spec_eva[j];
+              for (const PartitionId i : dirty) {
+                const double e = state.eva(i, us[j], vs[j]);
+                if (e < best_eva || (e == best_eva && i < best)) {
+                  best_eva = e;
+                  best = i;
+                }
+              }
+            }
+            const unsigned new_replicas = state.commit(best, us[j], vs[j]);
+            if (dirty_stamp[best] != epoch) {
+              dirty_stamp[best] = epoch;
+              dirty.push_back(best);
+            }
+            source.on_commit(best, new_replicas);
+          }
+        }
+      } catch (...) {
+        done = true;
+        barrier.arrive_and_wait();
+        throw;  // rethrown to the caller by run_team
+      }
+      done = true;
+      barrier.arrive_and_wait();  // release the team
+    } else {
+      for (;;) {
+        barrier.arrive_and_wait();  // A
+        if (done) break;
+        score_share(rank);
+        barrier.arrive_and_wait();  // B
+      }
+    }
+  });
+}
+
+}  // namespace ebv::detail

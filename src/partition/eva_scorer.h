@@ -1,22 +1,50 @@
-// Shared evaluation-function machinery for the EBV family (Algorithm 1).
+// Shared evaluation-function core for the EBV family (Algorithm 1) and
+// the other replica-tracking streaming partitioners (HDRF).
 //
-// EvaState owns the bookkeeping both the offline and the streaming variant
-// mutate while assigning edges: the per-part keep[] membership bitmaps and
-// the |Ei| / |Vi| counters behind the balance terms of
+// Replica membership is stored VERTEX-MAJOR as bitmasks: every vertex owns
+// ceil(p/64) contiguous uint64 words whose bit i says "v is replicated on
+// part i". Compared with the seed's part-major p × |V| byte matrix this is
+// an 8× memory reduction (|V|·⌈p/64⌉·8 bytes instead of p·|V|), and — the
+// actual point — scoring an edge (u, v) against all p parts touches just
+// the two vertices' mask rows (2·⌈p/64⌉ contiguous words) instead of 2p
+// scattered byte loads across p different |V|-sized arrays.
+//
+// EvaState additionally keeps the balance terms of
 //
 //   Eva(u,v)(i) = I(u ∉ keep[i]) + I(v ∉ keep[i])
-//               + α·ecount[i]/(|E|/p) + β·vcount[i]/(|V|/p).
+//               + α·ecount[i]/(|E|/p) + β·vcount[i]/(|V|/p)
 //
-// with_eva_scorer() runs a caller-supplied sequential driver and hands it
-// a score(u, v) -> PartitionId callback computing the argmin with
-// lowest-index tie-breaking. With num_threads > 1 the candidate scan is
-// chunked over a resident thread team (two spin-barrier handshakes per
-// scored edge); each rank scans its chunk in ascending part order with a
-// strict '<' and the rank-0 reduction prefers the lowest-index chunk, so
-// the result is bit-identical to the sequential scan for every team size —
-// the property the parallel-determinism tests pin down.
+// INCREMENTALLY: load_e[i] = α·ecount[i]/(|E|/p) and
+// load_v[i] = β·vcount[i]/(|V|/p) are dense per-part arrays refreshed only
+// when a commit changes part i, so the per-edge argmin is a branch-light
+// sweep of (miss + load_e[i]) + load_v[i] driven by countr_zero iteration
+// over the membership classes (both endpoints present / exactly one /
+// neither) — no division and no membership branch in the hot loop. The two
+// load terms stay SEPARATE and every eva is evaluated as
+// ((miss + load_e) + load_v) with load_x recomputed from the integer
+// counters, because that reproduces the seed scorer's floating-point
+// rounding exactly: double addition is not associative, and the golden
+// tests pin the seed's lowest-index tie-break down to the last ulp.
+//
+// run_eva_scoring() owns the assignment loop. The driver supplies the edge
+// stream through next(u, v) (which must not depend on earlier assignment
+// results — both EBV drivers satisfy this: the offline order is fixed up
+// front and the streaming buffer is keyed by ingestion-time partial
+// degrees only) and observes results through on_commit(best,
+// new_replicas), called once per produced edge, in production order. With
+// num_threads > 1 the scan runs as BATCHED SPECULATIVE scoring: the team
+// pre-scores a block of up to `batch` edges against a frozen (masks, load)
+// snapshot in one barrier handshake, then rank 0 replays the block
+// sequentially, accepting a speculative argmin whenever the commits made
+// since the snapshot provably could not change it and rescoring the ≤batch
+// touched ("dirty") parts — or, when the speculative winner itself is
+// dirty, the whole part range — otherwise. The replay reconstruction is
+// exact, not heuristic, so part_of_edge is bit-identical to the
+// sequential scan for every (num_threads, batch) pair — the property the
+// parallel-determinism tests pin down.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <utility>
@@ -28,6 +56,54 @@
 
 namespace ebv::detail {
 
+/// Vertex-major replica-membership bitmasks: ceil(num_parts/64) uint64
+/// words per vertex, bit i of word i/64 set iff the vertex is replicated
+/// on part i. Shared by EvaState and HDRF.
+class ReplicaMasks {
+ public:
+  ReplicaMasks(VertexId num_vertices, PartitionId num_parts)
+      : words_(std::max<PartitionId>(1, (num_parts + 63) / 64)),
+        last_word_mask_(num_parts % 64 == 0
+                            ? ~std::uint64_t{0}
+                            : (std::uint64_t{1} << (num_parts % 64)) - 1),
+        bits_(static_cast<std::size_t>(num_vertices) * words_, 0) {}
+
+  /// Mask words per vertex (⌈p/64⌉).
+  [[nodiscard]] std::uint32_t words_per_vertex() const { return words_; }
+
+  /// Valid-part mask for word w: all-ones except the (possibly partial)
+  /// last word.
+  [[nodiscard]] std::uint64_t word_mask(std::uint32_t w) const {
+    return w + 1 == words_ ? last_word_mask_ : ~std::uint64_t{0};
+  }
+
+  /// The vertex's contiguous row of words_per_vertex() mask words.
+  [[nodiscard]] const std::uint64_t* row(VertexId v) const {
+    return bits_.data() + static_cast<std::size_t>(v) * words_;
+  }
+
+  /// 1 when v is replicated on part i, else 0 (int so callers can do
+  /// exact small-integer arithmetic before converting to double).
+  [[nodiscard]] int test(VertexId v, PartitionId i) const {
+    return static_cast<int>(row(v)[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Set (v, i); returns true when the bit was newly set.
+  bool set(VertexId v, PartitionId i) {
+    std::uint64_t& word =
+        bits_[static_cast<std::size_t>(v) * words_ + (i >> 6)];
+    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+    if ((word & bit) != 0) return false;
+    word |= bit;
+    return true;
+  }
+
+ private:
+  std::uint32_t words_;
+  std::uint64_t last_word_mask_;
+  std::vector<std::uint64_t> bits_;
+};
+
 struct EvaState {
   PartitionId num_parts = 0;
   VertexId num_vertices = 0;
@@ -36,9 +112,15 @@ struct EvaState {
   double edges_per_part = 1.0;
   double vertices_per_part = 1.0;
 
-  std::vector<std::uint8_t> keep;  // part-major, num_parts × num_vertices
+  ReplicaMasks masks;
   std::vector<std::uint64_t> ecount;
   std::vector<std::uint64_t> vcount;
+  /// Incrementally maintained balance terms, refreshed on commit():
+  /// load_e[i] = α·ecount[i]/(|E|/p), load_v[i] = β·vcount[i]/(|V|/p).
+  /// Always recomputed from the counters (never accumulated), so each
+  /// entry is the exact double the seed scorer computed per edge.
+  std::vector<double> load_e;
+  std::vector<double> load_v;
 
   EvaState(const Graph& graph, const PartitionConfig& config)
       : num_parts(config.num_parts),
@@ -50,143 +132,131 @@ struct EvaState {
             config.num_parts),
         vertices_per_part(static_cast<double>(graph.num_vertices()) /
                           config.num_parts),
-        keep(static_cast<std::size_t>(config.num_parts) *
-                 graph.num_vertices(),
-             0),
+        masks(graph.num_vertices(), config.num_parts),
         ecount(config.num_parts, 0),
-        vcount(config.num_parts, 0) {}
+        vcount(config.num_parts, 0),
+        load_e(config.num_parts, 0.0),
+        load_v(config.num_parts, 0.0) {}
 
   [[nodiscard]] bool kept(PartitionId i, VertexId v) const {
-    return keep[static_cast<std::size_t>(i) * num_vertices + v] != 0;
+    return masks.test(v, i) != 0;
   }
 
+  /// Eva score of part i against the LIVE state (used by the replay
+  /// validation for dirty parts); same association order as best_part().
   [[nodiscard]] double eva(PartitionId i, VertexId u, VertexId v) const {
-    double e = 0.0;
-    if (!kept(i, u)) e += 1.0;
-    if (!kept(i, v)) e += 1.0;
-    e += alpha * static_cast<double>(ecount[i]) / edges_per_part;
-    e += beta * static_cast<double>(vcount[i]) / vertices_per_part;
-    return e;
+    const double miss =
+        static_cast<double>(2 - masks.test(u, i) - masks.test(v, i));
+    return (miss + load_e[i]) + load_v[i];
   }
 
-  /// Argmin over parts [lo, hi) with lowest-index tie-breaking;
-  /// eva_out = +inf when the range is empty.
-  [[nodiscard]] PartitionId best_in_range(VertexId u, VertexId v,
-                                          PartitionId lo, PartitionId hi,
-                                          double& eva_out) const {
-    PartitionId best = lo;
+  /// Argmin of Eva(u,v)(·) over all parts with lowest-index tie-breaking.
+  /// One pass over the two vertices' mask rows: per 64-part word the parts
+  /// split into membership classes with constant replication miss (both
+  /// bits set → 0, exactly one → 1, neither → 2), each walked with
+  /// countr_zero so the loop body is miss + two array reads + one compare.
+  [[nodiscard]] PartitionId best_part(VertexId u, VertexId v,
+                                      double* eva_out = nullptr) const {
+    const std::uint64_t* mu = masks.row(u);
+    const std::uint64_t* mv = masks.row(v);
+    PartitionId best = 0;
     double best_eva = std::numeric_limits<double>::infinity();
-    for (PartitionId i = lo; i < hi; ++i) {
-      const double e = eva(i, u, v);
-      if (e < best_eva) {
-        best_eva = e;
-        best = i;
-      }
+    const std::uint32_t words = masks.words_per_vertex();
+    for (std::uint32_t w = 0; w < words; ++w) {
+      const PartitionId base = static_cast<PartitionId>(w) * 64;
+      const std::uint64_t a = mu[w];
+      const std::uint64_t b = mv[w];
+      // The classes are walked out of ascending-part order, so ties are
+      // broken by an explicit index compare — equivalent to the seed's
+      // ascending strict-< scan.
+      auto scan = [&](std::uint64_t bits, double miss) {
+        while (bits != 0) {
+          const PartitionId i =
+              base + static_cast<PartitionId>(std::countr_zero(bits));
+          bits &= bits - 1;
+          const double e = (miss + load_e[i]) + load_v[i];
+          if (e < best_eva || (e == best_eva && i < best)) {
+            best_eva = e;
+            best = i;
+          }
+        }
+      };
+      scan(a & b, 0.0);
+      scan(a ^ b, 1.0);
+      scan(~(a | b) & masks.word_mask(w), 2.0);
     }
-    eva_out = best_eva;
+    if (eva_out != nullptr) *eva_out = best_eva;
     return best;
   }
 
-  [[nodiscard]] PartitionId best_sequential(VertexId u, VertexId v) const {
-    double unused = 0.0;
-    return best_in_range(u, v, 0, num_parts, unused);
-  }
-
-  /// Commit edge (u, v) to part `best`; returns how many of its endpoints
-  /// became new replicas (0, 1 or 2).
+  /// Commit edge (u, v) to part `best`: bump the counters, refresh the
+  /// part's load terms, and return how many endpoints became new replicas
+  /// (0, 1 or 2).
   unsigned commit(PartitionId best, VertexId u, VertexId v) {
     ++ecount[best];
     unsigned new_replicas = 0;
-    auto cover = [&](VertexId w) {
-      std::uint8_t& bit =
-          keep[static_cast<std::size_t>(best) * num_vertices + w];
-      if (bit == 0) {
-        bit = 1;
-        ++vcount[best];
-        ++new_replicas;
-      }
-    };
-    cover(u);
-    if (v != u) cover(v);
+    if (masks.set(u, best)) ++new_replicas;
+    if (v != u && masks.set(v, best)) ++new_replicas;
+    vcount[best] += new_replicas;
+    load_e[best] =
+        alpha * static_cast<double>(ecount[best]) / edges_per_part;
+    load_v[best] =
+        beta * static_cast<double>(vcount[best]) / vertices_per_part;
     return new_replicas;
   }
 };
 
-/// Run driver(score) where score(u, v) is the deterministic Eva argmin.
-/// The driver itself stays sequential (edge t+1 depends on the commit of
-/// edge t); only the per-edge candidate scan is spread over `num_threads`
-/// ranks (oversubscription beyond the pool is carried by run_team).
-template <typename Driver>
-void with_eva_scorer(EvaState& state, std::uint32_t num_threads,
-                     Driver&& driver) {
-  ThreadPool& pool = ThreadPool::global();
+/// Type-erased driver interface for the team engine in eva_scorer.cpp
+/// (the serial fast path in run_eva_scoring stays fully inlined).
+class EdgeSource {
+ public:
+  /// Produce the next edge to assign; false when the stream is exhausted.
+  /// Must not depend on the results of earlier assignments (the team
+  /// engine pulls up to `batch` edges ahead of their commits).
+  virtual bool next(VertexId& u, VertexId& v) = 0;
+  /// Observe the assignment of a produced edge. Called exactly once per
+  /// produced edge, in production order; EvaState::commit has already
+  /// been applied.
+  virtual void on_commit(PartitionId best, unsigned new_replicas) = 0;
+
+ protected:
+  ~EdgeSource() = default;
+};
+
+/// Batched speculative team scoring over `team` ranks (eva_scorer.cpp).
+void run_eva_scoring_team(EvaState& state, unsigned team, std::uint32_t batch,
+                          EdgeSource& source);
+
+/// Assign every edge produced by next(u, v) to its deterministic Eva
+/// argmin, reporting each result through on_commit(best, new_replicas).
+/// num_threads ≤ 1 (or a degenerate part count, or a caller already inside
+/// a pool body) runs the inlined sequential loop; otherwise the batched
+/// speculative team protocol executes with block size `batch`. Output is
+/// bit-identical across every (num_threads, batch) combination.
+template <typename Next, typename OnCommit>
+void run_eva_scoring(EvaState& state, std::uint32_t num_threads,
+                     std::uint32_t batch, Next&& next, OnCommit&& on_commit) {
   const unsigned team = std::max<std::uint32_t>(num_threads, 1);
   if (team <= 1 || state.num_parts < 2 || ThreadPool::inside_pool_body()) {
-    driver([&state](VertexId u, VertexId v) {
-      return state.best_sequential(u, v);
-    });
+    VertexId u = 0;
+    VertexId v = 0;
+    while (next(u, v)) {
+      const PartitionId best = state.best_part(u, v);
+      on_commit(best, state.commit(best, u, v));
+    }
     return;
   }
 
-  struct alignas(64) Slot {
-    double eva = 0.0;
-    PartitionId part = 0;
-  };
-  std::vector<Slot> slots(team);
-  SpinBarrier barrier(team);
-  VertexId shared_u = 0;
-  VertexId shared_v = 0;
-  bool done = false;
-
-  auto chunk_lo = [&](unsigned rank) {
-    return static_cast<PartitionId>(
-        static_cast<std::uint64_t>(state.num_parts) * rank / team);
-  };
-
-  pool.run_team(team, [&](unsigned rank, unsigned actual_team) {
-    EBV_ASSERT(actual_team == team);
-    auto score_chunk = [&](unsigned r) {
-      slots[r].part = state.best_in_range(shared_u, shared_v, chunk_lo(r),
-                                          chunk_lo(r + 1), slots[r].eva);
-    };
-    if (rank == 0) {
-      auto score = [&](VertexId u, VertexId v) {
-        shared_u = u;
-        shared_v = v;
-        barrier.arrive_and_wait();  // publish the edge to the team
-        score_chunk(0);
-        barrier.arrive_and_wait();  // collect every chunk's candidate
-        double best_eva = std::numeric_limits<double>::infinity();
-        PartitionId best = 0;
-        for (unsigned r = 0; r < team; ++r) {
-          if (slots[r].eva < best_eva) {
-            best_eva = slots[r].eva;
-            best = slots[r].part;
-          }
-        }
-        return best;
-      };
-      // Release the team even when the driver throws between score()
-      // calls (score() itself does not throw) — otherwise ranks 1..team-1
-      // would spin at the top-of-loop barrier forever.
-      try {
-        driver(score);
-      } catch (...) {
-        done = true;
-        barrier.arrive_and_wait();
-        throw;  // rethrown to the caller by run_team
-      }
-      done = true;
-      barrier.arrive_and_wait();  // release the team
-    } else {
-      for (;;) {
-        barrier.arrive_and_wait();
-        if (done) break;
-        score_chunk(rank);
-        barrier.arrive_and_wait();
-      }
+  struct Source final : EdgeSource {
+    Next& next_fn;
+    OnCommit& commit_fn;
+    Source(Next& n, OnCommit& c) : next_fn(n), commit_fn(c) {}
+    bool next(VertexId& u, VertexId& v) override { return next_fn(u, v); }
+    void on_commit(PartitionId best, unsigned new_replicas) override {
+      commit_fn(best, new_replicas);
     }
-  });
+  } source(next, on_commit);
+  run_eva_scoring_team(state, team, batch, source);
 }
 
 }  // namespace ebv::detail

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "partition/eva_scorer.h"
+
 namespace ebv {
 
 EdgePartition HdrfPartitioner::partition(const Graph& graph,
@@ -14,8 +16,10 @@ EdgePartition HdrfPartitioner::partition(const Graph& graph,
   // Partial degrees, counted as edges stream in (the canonical HDRF setup:
   // the true degrees are unknown to a one-pass streaming algorithm).
   std::vector<std::uint32_t> partial_degree(graph.num_vertices(), 0);
-  std::vector<std::vector<std::uint8_t>> replicas(
-      p, std::vector<std::uint8_t>(graph.num_vertices(), 0));
+  // Replica membership shares the Eva core's vertex-major bitmasks
+  // (|V|·⌈p/64⌉ words) instead of the former p separate |V|-byte vectors,
+  // so the per-edge scan reads two contiguous mask rows.
+  detail::ReplicaMasks replicas(graph.num_vertices(), p);
   std::vector<std::uint64_t> ecount(p, 0);
 
   EdgePartition result;
@@ -43,8 +47,8 @@ EdgePartition HdrfPartitioner::partition(const Graph& graph,
     double best_score = -std::numeric_limits<double>::infinity();
     for (PartitionId i = 0; i < p; ++i) {
       double c_rep = 0.0;
-      if (replicas[i][u] != 0) c_rep += 1.0 + (1.0 - theta_u);
-      if (replicas[i][v] != 0) c_rep += 1.0 + (1.0 - theta_v);
+      if (replicas.test(u, i) != 0) c_rep += 1.0 + (1.0 - theta_u);
+      if (replicas.test(v, i) != 0) c_rep += 1.0 + (1.0 - theta_v);
       const double c_bal =
           static_cast<double>(max_size - ecount[i]) /
           (kEpsilon + static_cast<double>(max_size - min_size));
@@ -56,8 +60,8 @@ EdgePartition HdrfPartitioner::partition(const Graph& graph,
     }
     result.part_of_edge[e] = best;
     ++ecount[best];
-    replicas[best][u] = 1;
-    replicas[best][v] = 1;
+    replicas.set(u, best);
+    replicas.set(v, best);
   }
   return result;
 }

@@ -60,11 +60,10 @@ std::vector<EdgeId> make_edge_order(const Graph& graph, EdgeOrder order,
 
   // Precompute the degree-sum keys once (the comparator used to recompute
   // two degrees per comparison); filled index-wise, so the parallel fill
-  // is deterministic. num_threads == 1 means fully sequential — callers
-  // that never asked for parallelism must not fan out over the pool. Any
-  // value > 1 opts into the shared pool's dynamic chunking (the pool's
-  // size, not num_threads, bounds the fan-out here — unlike the scoring
-  // team, which honours the exact count).
+  // is deterministic. num_threads bounds the fan-out exactly (the
+  // PartitionConfig::num_threads rule: every parallel stage of a
+  // partitioner run honours the knob, the pool only carries the ranks);
+  // num_threads == 1 means fully sequential.
   std::vector<std::uint64_t> keys(graph.num_edges());
   const auto fill_keys = [&](std::size_t begin, std::size_t end) {
     for (std::size_t e = begin; e < end; ++e) {
@@ -73,8 +72,13 @@ std::vector<EdgeId> make_edge_order(const Graph& graph, EdgeOrder order,
                 graph.degree(edge.dst);
     }
   };
-  if (num_threads > 1) {
-    parallel_for_chunks(graph.num_edges(), fill_keys, 1u << 14);
+  if (num_threads > 1 && graph.num_edges() >= 1u << 14 &&
+      !ThreadPool::inside_pool_body()) {
+    const unsigned team = num_threads;
+    ThreadPool::global().run_team(team, [&](unsigned rank, unsigned t) {
+      fill_keys(graph.num_edges() * rank / t,
+                graph.num_edges() * (rank + 1) / t);
+    });
   } else {
     fill_keys(0, graph.num_edges());
   }

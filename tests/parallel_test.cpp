@@ -1,6 +1,6 @@
 // Thread-pool primitives (common/parallel.h) and the bit-identical
-// parallel-determinism guarantee of the EBV family's chunked candidate
-// scoring (partition/eva_scorer.h).
+// parallel-determinism guarantee of the EBV family's batched speculative
+// team scoring (partition/eva_scorer.h).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -131,8 +131,9 @@ TEST(EdgeOrder, ParallelSortMatchesSerial) {
   EXPECT_EQ(desc1, desc8);
 }
 
-/// The headline guarantee: parallel EBV is bit-identical to serial EBV.
-TEST(EbvParallelDeterminism, PartOfEdgeIdenticalAcrossThreadCounts) {
+/// The headline guarantee: batched speculative parallel EBV is
+/// bit-identical to serial EBV for every (threads, batch) combination.
+TEST(EbvParallelDeterminism, PartOfEdgeIdenticalAcrossThreadsAndBatches) {
   const Graph g = gen::chung_lu(2'000, 10'000, 2.3, false, 5);
   const auto partitioner = make_partitioner("ebv");
   PartitionConfig config;
@@ -140,16 +141,20 @@ TEST(EbvParallelDeterminism, PartOfEdgeIdenticalAcrossThreadCounts) {
 
   config.num_threads = 1;
   const EdgePartition serial = partitioner->partition(g, config);
-  for (const std::uint32_t threads : {4u, 16u}) {
-    config.num_threads = threads;
-    const EdgePartition parallel = partitioner->partition(g, config);
-    ASSERT_EQ(parallel.num_parts, serial.num_parts);
-    EXPECT_EQ(parallel.part_of_edge, serial.part_of_edge)
-        << "EBV output diverged at " << threads << " threads";
+  for (const std::uint32_t threads : {1u, 4u, 16u}) {
+    for (const std::uint32_t batch : {1u, 64u, 4096u}) {
+      config.num_threads = threads;
+      config.batch_size = batch;
+      const EdgePartition parallel = partitioner->partition(g, config);
+      ASSERT_EQ(parallel.num_parts, serial.num_parts);
+      EXPECT_EQ(parallel.part_of_edge, serial.part_of_edge)
+          << "EBV output diverged at " << threads << " threads, batch "
+          << batch;
+    }
   }
 }
 
-TEST(EbvParallelDeterminism, StreamingVariantIdenticalAcrossThreadCounts) {
+TEST(EbvParallelDeterminism, StreamingIdenticalAcrossThreadsAndBatches) {
   const Graph g = gen::chung_lu(1'500, 8'000, 2.4, false, 9);
   const auto partitioner = make_partitioner("ebv-stream");
   PartitionConfig config;
@@ -157,11 +162,15 @@ TEST(EbvParallelDeterminism, StreamingVariantIdenticalAcrossThreadCounts) {
 
   config.num_threads = 1;
   const EdgePartition serial = partitioner->partition(g, config);
-  for (const std::uint32_t threads : {4u, 16u}) {
-    config.num_threads = threads;
-    const EdgePartition parallel = partitioner->partition(g, config);
-    EXPECT_EQ(parallel.part_of_edge, serial.part_of_edge)
-        << "streaming EBV output diverged at " << threads << " threads";
+  for (const std::uint32_t threads : {1u, 4u, 16u}) {
+    for (const std::uint32_t batch : {1u, 64u, 4096u}) {
+      config.num_threads = threads;
+      config.batch_size = batch;
+      const EdgePartition parallel = partitioner->partition(g, config);
+      EXPECT_EQ(parallel.part_of_edge, serial.part_of_edge)
+          << "streaming EBV output diverged at " << threads
+          << " threads, batch " << batch;
+    }
   }
 }
 
@@ -179,6 +188,7 @@ TEST(EbvParallelDeterminism, NaturalOrderAndHyperParams) {
   config.num_threads = 1;
   const EdgePartition serial = partitioner->partition(g, config);
   config.num_threads = 4;
+  config.batch_size = 7;  // deliberately odd, not a divisor of |E|
   const EdgePartition parallel = partitioner->partition(g, config);
   EXPECT_EQ(parallel.part_of_edge, serial.part_of_edge);
 }

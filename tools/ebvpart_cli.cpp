@@ -18,6 +18,7 @@
 #include "analysis/experiment.h"
 #include "analysis/table.h"
 #include "common/format.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
@@ -129,6 +130,13 @@ int cmd_partition(const ArgMap& args) {
   config.seed = std::stoull(get(args, "seed", "42"));
   config.num_threads =
       static_cast<std::uint32_t>(std::stoul(get(args, "threads", "1")));
+  config.batch_size =
+      static_cast<std::uint32_t>(std::stoul(get(args, "batch", "256")));
+  // Size the shared pool to the requested team so the ranks run on
+  // resident workers instead of per-call temporary threads.
+  if (config.num_threads > 1) {
+    ThreadPool::set_global_threads(config.num_threads);
+  }
   const std::string order = get(args, "order", "sorted");
   if (order == "sorted") {
     config.edge_order = EdgeOrder::kSortedAscending;
@@ -177,14 +185,18 @@ int cmd_run(const ArgMap& args) {
     throw std::invalid_argument("unknown app: " + app_name);
   }
 
-  // --threads > 1 fans the BSP computation stage out over the shared
-  // thread pool (sized by EBV_THREADS / hardware concurrency — the value
-  // of T only selects the policy); results are identical to the
-  // sequential policy.
+  // --threads T sizes the shared pool explicitly AND bounds the BSP
+  // computation stage's fan-out (RunOptions::num_threads) — the knob is no
+  // longer just a parallel-policy toggle. Results are identical to the
+  // sequential policy for every T.
   bsp::RunOptions options;
   const auto threads =
       static_cast<std::uint32_t>(std::stoul(get(args, "threads", "1")));
-  if (threads > 1) options.policy = bsp::ExecutionPolicy::kParallel;
+  if (threads > 1) {
+    ThreadPool::set_global_threads(threads);
+    options.policy = bsp::ExecutionPolicy::kParallel;
+    options.num_threads = threads;
+  }
 
   analysis::ExperimentResult result;
   if (args.count("partition") != 0) {
@@ -223,7 +235,7 @@ int usage() {
          "  stats     --graph g.ebvg [--deep 1]\n"
          "  partition --graph g.ebvg --algo ebv --parts 8 [--out p.ebvp]\n"
          "            [--alpha A --beta B --order sorted|natural|desc|random]\n"
-         "            [--threads T]\n"
+         "            [--threads T] [--batch B]\n"
          "  run       --graph g.ebvg --app cc|pr|sssp [--threads T]\n"
          "            (--partition p.ebvp | --algo ebv --parts 8)\n";
   return 2;
