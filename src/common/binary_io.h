@@ -1,0 +1,53 @@
+// Small shared helpers for the binary format readers/writers (EBVG,
+// EBVP). Kept header-only so each format file stays self-contained.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ebv::io::detail {
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& in, const char* format_name) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) {
+    throw std::runtime_error(std::string(format_name) + ": truncated input");
+  }
+  return value;
+}
+
+/// Read `count` elements, growing the result in ~1 MiB chunks: a header
+/// whose count claims more elements than the stream holds fails with
+/// runtime_error at EOF after at most one extra chunk of allocation —
+/// never an unbounded resize/OOM on a hostile count.
+template <typename T>
+std::vector<T> read_array(std::istream& in, std::uint64_t count,
+                          const char* format_name, const char* what) {
+  constexpr std::uint64_t kChunkElems = (std::uint64_t{1} << 20) / sizeof(T);
+  std::vector<T> out;
+  while (out.size() < count) {
+    const std::uint64_t take = std::min(kChunkElems, count - out.size());
+    const std::size_t old = out.size();
+    out.resize(old + static_cast<std::size_t>(take));
+    in.read(reinterpret_cast<char*>(out.data() + old),
+            static_cast<std::streamsize>(take * sizeof(T)));
+    if (!in) {
+      throw std::runtime_error(std::string(format_name) + ": truncated " +
+                               what + " (count exceeds the stream?)");
+    }
+  }
+  return out;
+}
+
+}  // namespace ebv::io::detail

@@ -1,11 +1,10 @@
 #include "graph/csr.h"
 
 #include "common/assert.h"
-#include "graph/graph.h"
 
 namespace ebv {
 
-CsrGraph CsrGraph::build(const Graph& graph, Direction direction) {
+CsrGraph CsrGraph::build(const GraphView& graph, Direction direction) {
   return build(graph.num_vertices(), graph.edges(), direction);
 }
 

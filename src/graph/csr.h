@@ -7,10 +7,9 @@
 #include <vector>
 
 #include "common/types.h"
+#include "graph/graph_view.h"
 
 namespace ebv {
-
-class Graph;
 
 /// One-directional CSR: neighbors(v) lists the targets of edges leaving v
 /// (or entering v when built with Direction::kIn). `edge_ids(v)` gives the
@@ -22,10 +21,11 @@ class CsrGraph {
 
   CsrGraph() = default;
 
-  /// Build from a graph's edge list. Direction::kBoth symmetrises the graph
-  /// (each directed edge appears in both endpoint lists), which is what CC
-  /// and the Voronoi partitioner need.
-  static CsrGraph build(const Graph& graph, Direction direction);
+  /// Build from a graph's edge list (resident Graph or mapped snapshot
+  /// view). Direction::kBoth symmetrises the graph (each directed edge
+  /// appears in both endpoint lists), which is what CC and the Voronoi
+  /// partitioner need.
+  static CsrGraph build(const GraphView& graph, Direction direction);
 
   /// Build directly from an edge span (used for per-worker local CSRs).
   static CsrGraph build(VertexId num_vertices, std::span<const Edge> edges,

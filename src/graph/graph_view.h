@@ -1,0 +1,107 @@
+// Non-owning view of a graph: the uniform read interface consumed by the
+// streaming partitioners, the Eva scoring core, metrics and stats.
+//
+// A GraphView is five spans (edges, weights, out/in degrees) plus the
+// vertex count — it never owns storage. Two producers exist:
+//
+//   * a resident Graph (implicit conversion; spans alias its vectors), and
+//   * an mmap-backed EBVS snapshot (MappedGraph::view() in
+//     graph/mapped_graph.h; spans alias kernel-paged file sections).
+//
+// Code written against GraphView is therefore out-of-core ready: the edge
+// and weight arrays may be demand-paged from disk and must be streamed,
+// while the O(|V|) degree arrays are assumed cheap enough to touch at
+// random (the standard streaming-partitioner memory model: vertex state
+// resident, edge state external).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "graph/graph.h"
+
+namespace ebv {
+
+class GraphView {
+ public:
+  GraphView() = default;
+
+  /// View over a resident Graph. Implicit on purpose: every API that takes
+  /// a `const GraphView&` keeps accepting a `Graph` unchanged.
+  GraphView(const Graph& graph)  // NOLINT(google-explicit-constructor)
+      : num_vertices_(graph.num_vertices()),
+        edges_(graph.edges()),
+        weights_(graph.weights()),
+        out_degrees_(graph.out_degrees()),
+        in_degrees_(graph.in_degrees()),
+        name_(graph.name()) {}
+
+  /// View over raw spans (the mmap producer). `weights` may be empty;
+  /// `out_degrees` and `in_degrees` must each have `num_vertices` entries.
+  GraphView(VertexId num_vertices, std::span<const Edge> edges,
+            std::span<const float> weights,
+            std::span<const std::uint32_t> out_degrees,
+            std::span<const std::uint32_t> in_degrees,
+            std::string_view name = {})
+      : num_vertices_(num_vertices),
+        edges_(edges),
+        weights_(weights),
+        out_degrees_(out_degrees),
+        in_degrees_(in_degrees),
+        name_(name) {
+    EBV_REQUIRE(out_degrees_.size() == num_vertices_ &&
+                    in_degrees_.size() == num_vertices_,
+                "degree spans must cover every vertex");
+    EBV_REQUIRE(weights_.empty() || weights_.size() == edges_.size(),
+                "weight span must be empty or match the edge span");
+  }
+
+  [[nodiscard]] VertexId num_vertices() const { return num_vertices_; }
+  [[nodiscard]] EdgeId num_edges() const { return edges_.size(); }
+  [[nodiscard]] bool empty() const { return edges_.empty(); }
+
+  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[e]; }
+
+  [[nodiscard]] bool has_weights() const { return !weights_.empty(); }
+  /// Weight of edge e; 1.0 when the graph is unweighted.
+  [[nodiscard]] float weight(EdgeId e) const {
+    return weights_.empty() ? 1.0f : weights_[e];
+  }
+  [[nodiscard]] std::span<const float> weights() const { return weights_; }
+
+  [[nodiscard]] std::uint32_t out_degree(VertexId v) const {
+    return out_degrees_[v];
+  }
+  [[nodiscard]] std::uint32_t in_degree(VertexId v) const {
+    return in_degrees_[v];
+  }
+  /// Total degree = in + out, as Graph::degree().
+  [[nodiscard]] std::uint32_t degree(VertexId v) const {
+    return out_degrees_[v] + in_degrees_[v];
+  }
+  [[nodiscard]] std::span<const std::uint32_t> out_degrees() const {
+    return out_degrees_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> in_degrees() const {
+    return in_degrees_;
+  }
+
+  [[nodiscard]] double average_degree() const {
+    return num_vertices_ == 0
+               ? 0.0
+               : static_cast<double>(num_edges()) / num_vertices_;
+  }
+
+  [[nodiscard]] std::string_view name() const { return name_; }
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::span<const Edge> edges_;
+  std::span<const float> weights_;
+  std::span<const std::uint32_t> out_degrees_;
+  std::span<const std::uint32_t> in_degrees_;
+  std::string_view name_;
+};
+
+}  // namespace ebv

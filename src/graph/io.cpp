@@ -1,27 +1,29 @@
 #include "graph/io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "common/binary_io.h"
+
 namespace ebv::io {
 namespace {
 
+using detail::read_array;
+using detail::write_pod;
+
 constexpr char kMagic[4] = {'E', 'B', 'V', 'G'};
 constexpr std::uint32_t kVersion = 1;
-
-template <typename T>
-void write_pod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof value);
-}
+// Cap on the serialised name, enforced symmetrically: the writer clamps
+// (names are display-only) so it can never produce a file the reader
+// rejects.
+constexpr std::size_t kMaxNameBytes = 1u << 16;
 
 template <typename T>
 T read_pod(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!in) throw std::runtime_error("EBVG: truncated input");
-  return value;
+  return detail::read_pod<T>(in, "EBVG");
 }
 
 std::ifstream open_input(const std::string& path, std::ios::openmode mode) {
@@ -88,9 +90,9 @@ void write_edge_list_file(const std::string& path, const Graph& graph) {
 void write_binary(std::ostream& out, const Graph& graph) {
   out.write(kMagic, sizeof kMagic);
   write_pod(out, kVersion);
-  write_pod(out, static_cast<std::uint32_t>(graph.name().size()));
-  out.write(graph.name().data(),
-            static_cast<std::streamsize>(graph.name().size()));
+  const std::size_t name_len = std::min(graph.name().size(), kMaxNameBytes);
+  write_pod(out, static_cast<std::uint32_t>(name_len));
+  out.write(graph.name().data(), static_cast<std::streamsize>(name_len));
   write_pod(out, graph.num_vertices());
   write_pod(out, graph.num_edges());
   write_pod(out, static_cast<std::uint8_t>(graph.has_weights() ? 1 : 0));
@@ -120,22 +122,23 @@ Graph read_binary(std::istream& in) {
                              std::to_string(version));
   }
   const auto name_len = read_pod<std::uint32_t>(in);
+  if (name_len > kMaxNameBytes) {
+    throw std::runtime_error("EBVG: implausible name length " +
+                             std::to_string(name_len));
+  }
   std::string name(name_len, '\0');
   in.read(name.data(), name_len);
+  if (!in) throw std::runtime_error("EBVG: truncated name");
   const auto num_vertices = read_pod<VertexId>(in);
   const auto num_edges = read_pod<EdgeId>(in);
   const auto weighted = read_pod<std::uint8_t>(in);
 
-  std::vector<Edge> edges(num_edges);
-  in.read(reinterpret_cast<char*>(edges.data()),
-          static_cast<std::streamsize>(num_edges * sizeof(Edge)));
+  std::vector<Edge> edges =
+      read_array<Edge>(in, num_edges, "EBVG", "edge data");
   std::vector<float> weights;
   if (weighted != 0) {
-    weights.resize(num_edges);
-    in.read(reinterpret_cast<char*>(weights.data()),
-            static_cast<std::streamsize>(num_edges * sizeof(float)));
+    weights = read_array<float>(in, num_edges, "EBVG", "weight data");
   }
-  if (!in) throw std::runtime_error("EBVG: truncated edge data");
   Graph g(num_vertices, std::move(edges), std::move(weights));
   g.set_name(name);
   return g;

@@ -1,0 +1,481 @@
+#include "graph/mapped_graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#if defined(_WIN32)
+#include <cstdlib>
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace ebv {
+namespace {
+
+// Header field offsets within the 4 KiB header page (docs/FORMATS.md).
+constexpr char kMagic[4] = {'E', 'B', 'V', 'S'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kEndianMarker = 0x0A0B0C0D;
+constexpr std::size_t kHeaderBytes = 4096;
+constexpr std::size_t kPageAlign = 4096;
+constexpr std::size_t kMaxNameBytes = 216;
+
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffVersion = 4;
+constexpr std::size_t kOffEndian = 8;
+constexpr std::size_t kOffHeaderBytes = 12;
+constexpr std::size_t kOffNumVertices = 16;
+constexpr std::size_t kOffNumEdges = 24;
+constexpr std::size_t kOffFlags = 32;
+constexpr std::size_t kOffNameLen = 36;
+constexpr std::size_t kOffName = 40;            // kMaxNameBytes bytes
+constexpr std::size_t kOffSectionTable = 256;   // kNumSections × {u64, u64}
+
+constexpr std::uint32_t kFlagWeighted = 1u << 0;
+
+enum Section : std::size_t {
+  kSecEdges = 0,
+  kSecWeights = 1,
+  kSecCsrOffsets = 2,
+  kSecOutDegrees = 3,
+  kSecInDegrees = 4,
+  kNumSections = 5,
+};
+
+struct SectionEntry {
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+};
+
+template <typename T>
+void put(std::vector<char>& page, std::size_t offset, const T& value) {
+  std::memcpy(page.data() + offset, &value, sizeof value);
+}
+
+template <typename T>
+T get(const std::byte* base, std::size_t offset) {
+  T value{};
+  std::memcpy(&value, base + offset, sizeof value);
+  return value;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("EBVS: " + what);
+}
+
+std::size_t pad_to_page(std::ofstream& out, std::size_t cursor) {
+  static const std::vector<char> zeros(kPageAlign, 0);
+  const std::size_t rem = cursor % kPageAlign;
+  if (rem == 0) return cursor;
+  out.write(zeros.data(), static_cast<std::streamsize>(kPageAlign - rem));
+  return cursor + (kPageAlign - rem);
+}
+
+}  // namespace
+
+namespace io {
+namespace detail {
+
+struct SnapshotWriter::Impl {
+  std::string path;
+  std::string spool_path;
+  std::ofstream out;
+  std::ofstream spool;  // weight spool; open iff weighted
+  bool weighted = false;
+  bool finished = false;
+  std::size_t cursor = 0;
+  SectionEntry table[kNumSections];
+  std::vector<Edge> edge_buf;
+  std::vector<float> weight_buf;
+};
+
+namespace {
+
+constexpr std::size_t kWriterChunk = 1u << 16;
+
+void write_raw(std::ofstream& out, std::size_t& cursor, const void* data,
+               std::size_t bytes) {
+  if (bytes == 0) return;
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  cursor += bytes;
+}
+
+}  // namespace
+
+SnapshotWriter::SnapshotWriter(const std::string& path, std::string_view name,
+                               bool weighted)
+    : impl_(new Impl) {
+  impl_->path = path;
+  impl_->weighted = weighted;
+  impl_->out.open(path, std::ios::binary | std::ios::trunc);
+  if (!impl_->out) {
+    delete impl_;
+    fail("cannot open for writing: " + path);
+  }
+  if (weighted) {
+    impl_->spool_path = path + ".wspool.tmp";
+    impl_->spool.open(impl_->spool_path, std::ios::binary | std::ios::trunc);
+    if (!impl_->spool) {
+      delete impl_;
+      fail("cannot open weight spool: " + path + ".wspool.tmp");
+    }
+  }
+
+  // Placeholder header (counts and table patched by finish()); the name is
+  // final from the start.
+  std::vector<char> header(kHeaderBytes, 0);
+  std::memcpy(header.data() + kOffMagic, kMagic, sizeof kMagic);
+  put(header, kOffVersion, kVersion);
+  put(header, kOffEndian, kEndianMarker);
+  put(header, kOffHeaderBytes, static_cast<std::uint32_t>(kHeaderBytes));
+  put(header, kOffFlags, weighted ? kFlagWeighted : 0u);
+  const std::size_t name_len = std::min(name.size(), kMaxNameBytes);
+  put(header, kOffNameLen, static_cast<std::uint32_t>(name_len));
+  if (name_len > 0) std::memcpy(header.data() + kOffName, name.data(), name_len);
+  impl_->out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  impl_->cursor = kHeaderBytes;
+  impl_->table[kSecEdges].offset = impl_->cursor;  // edges start on page 1
+  impl_->edge_buf.reserve(kWriterChunk);
+  if (weighted) impl_->weight_buf.reserve(kWriterChunk);
+}
+
+SnapshotWriter::~SnapshotWriter() {
+  if (impl_ == nullptr) return;
+  if (!impl_->spool_path.empty()) {
+    impl_->spool.close();
+    std::remove(impl_->spool_path.c_str());
+  }
+  delete impl_;
+}
+
+void SnapshotWriter::append(const Edge& edge, float weight) {
+  impl_->edge_buf.push_back(edge);
+  if (impl_->edge_buf.size() == kWriterChunk) {
+    write_raw(impl_->out, impl_->cursor, impl_->edge_buf.data(),
+              impl_->edge_buf.size() * sizeof(Edge));
+    impl_->edge_buf.clear();
+  }
+  if (impl_->weighted) {
+    impl_->weight_buf.push_back(weight);
+    if (impl_->weight_buf.size() == kWriterChunk) {
+      std::size_t spool_cursor = 0;
+      write_raw(impl_->spool, spool_cursor, impl_->weight_buf.data(),
+                impl_->weight_buf.size() * sizeof(float));
+      impl_->weight_buf.clear();
+    }
+  }
+  ++num_edges_;
+}
+
+void SnapshotWriter::finish(VertexId num_vertices,
+                            std::span<const std::uint32_t> out_degrees,
+                            std::span<const std::uint32_t> in_degrees) {
+  Impl& s = *impl_;
+  EBV_REQUIRE(!s.finished, "SnapshotWriter::finish called twice");
+  EBV_REQUIRE(out_degrees.size() == num_vertices &&
+                  in_degrees.size() == num_vertices,
+              "degree spans must cover every vertex");
+  s.finished = true;
+
+  write_raw(s.out, s.cursor, s.edge_buf.data(),
+            s.edge_buf.size() * sizeof(Edge));
+  s.edge_buf.clear();
+  s.table[kSecEdges].bytes = s.cursor - s.table[kSecEdges].offset;
+
+  auto begin_section = [&](Section sec) {
+    s.cursor = pad_to_page(s.out, s.cursor);
+    s.table[sec].offset = s.cursor;
+  };
+
+  begin_section(kSecWeights);
+  if (s.weighted) {
+    std::size_t spool_cursor = 0;
+    write_raw(s.spool, spool_cursor, s.weight_buf.data(),
+              s.weight_buf.size() * sizeof(float));
+    s.weight_buf.clear();
+    s.spool.flush();
+    if (!s.spool) fail("weight spool write failed: " + s.spool_path);
+    s.spool.close();
+    std::ifstream spool_in(s.spool_path, std::ios::binary);
+    if (!spool_in) fail("cannot reopen weight spool: " + s.spool_path);
+    std::vector<char> copy_buf(1u << 20);
+    while (spool_in) {
+      spool_in.read(copy_buf.data(),
+                    static_cast<std::streamsize>(copy_buf.size()));
+      write_raw(s.out, s.cursor, copy_buf.data(),
+                static_cast<std::size_t>(spool_in.gcount()));
+    }
+  }
+  s.table[kSecWeights].bytes = s.cursor - s.table[kSecWeights].offset;
+
+  begin_section(kSecCsrOffsets);
+  {
+    // out_degree cumsum == positions in the src-sorted edge section;
+    // streamed in chunks so |V|+1 offsets never sit in memory at once.
+    std::vector<std::uint64_t> chunk;
+    chunk.reserve(kWriterChunk);
+    std::uint64_t running = 0;
+    chunk.push_back(running);
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      running += out_degrees[v];
+      chunk.push_back(running);
+      if (chunk.size() == kWriterChunk) {
+        write_raw(s.out, s.cursor, chunk.data(),
+                  chunk.size() * sizeof(std::uint64_t));
+        chunk.clear();
+      }
+    }
+    write_raw(s.out, s.cursor, chunk.data(),
+              chunk.size() * sizeof(std::uint64_t));
+  }
+  s.table[kSecCsrOffsets].bytes = s.cursor - s.table[kSecCsrOffsets].offset;
+
+  begin_section(kSecOutDegrees);
+  write_raw(s.out, s.cursor, out_degrees.data(),
+            out_degrees.size() * sizeof(std::uint32_t));
+  s.table[kSecOutDegrees].bytes = s.cursor - s.table[kSecOutDegrees].offset;
+
+  begin_section(kSecInDegrees);
+  write_raw(s.out, s.cursor, in_degrees.data(),
+            in_degrees.size() * sizeof(std::uint32_t));
+  s.table[kSecInDegrees].bytes = s.cursor - s.table[kSecInDegrees].offset;
+
+  s.out.seekp(static_cast<std::streamoff>(kOffNumVertices));
+  const auto v64 = static_cast<std::uint64_t>(num_vertices);
+  s.out.write(reinterpret_cast<const char*>(&v64), sizeof v64);
+  const auto e64 = static_cast<std::uint64_t>(num_edges_);
+  s.out.write(reinterpret_cast<const char*>(&e64), sizeof e64);
+  s.out.seekp(static_cast<std::streamoff>(kOffSectionTable));
+  s.out.write(reinterpret_cast<const char*>(s.table), sizeof s.table);
+  s.out.flush();
+  if (!s.out) fail("write failed: " + s.path);
+}
+
+}  // namespace detail
+
+void write_snapshot_file(const std::string& path, const GraphView& view) {
+  // Canonical edge order: ascending (src, dst), stable. The permutation is
+  // applied on the fly while streaming the edge section out.
+  std::vector<EdgeId> order(view.num_edges());
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::stable_sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    const Edge& ea = view.edge(a);
+    const Edge& eb = view.edge(b);
+    if (ea.src != eb.src) return ea.src < eb.src;
+    return ea.dst < eb.dst;
+  });
+
+  detail::SnapshotWriter writer(path, view.name(), view.has_weights());
+  for (const EdgeId e : order) writer.append(view.edge(e), view.weight(e));
+  writer.finish(view.num_vertices(), view.out_degrees(), view.in_degrees());
+}
+
+Graph read_snapshot_file(const std::string& path) {
+  MappedGraph mapped(path);
+  const GraphView v = mapped.view();
+  Graph g(v.num_vertices(),
+          std::vector<Edge>(v.edges().begin(), v.edges().end()),
+          std::vector<float>(v.weights().begin(), v.weights().end()));
+  g.set_name(mapped.name());
+  return g;
+}
+
+}  // namespace io
+
+MappedGraph::MappedGraph(const std::string& path) {
+#if defined(_WIN32)
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) fail("cannot open: " + path);
+  const auto file_size = static_cast<std::size_t>(in.tellg());
+  auto* buffer = static_cast<std::byte*>(std::malloc(std::max<std::size_t>(
+      file_size, 1)));
+  if (buffer == nullptr) fail("allocation failed for: " + path);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(buffer), static_cast<std::streamsize>(
+      file_size));
+  if (!in && file_size != 0) {
+    std::free(buffer);
+    fail("read failed: " + path);
+  }
+  base_ = buffer;
+  size_ = file_size;
+#else
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("cannot open: " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail("fstat failed: " + path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ < kHeaderBytes) {
+    ::close(fd);
+    fail("file shorter than the header page: " + path);
+  }
+  void* mapping = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (mapping == MAP_FAILED) fail("mmap failed: " + path);
+  base_ = static_cast<const std::byte*>(mapping);
+#endif
+
+  try {
+    if (size_ < kHeaderBytes) fail("file shorter than the header page");
+    if (std::memcmp(base_, kMagic, sizeof kMagic) != 0) fail("bad magic");
+    if (const auto version = get<std::uint32_t>(base_, kOffVersion);
+        version != kVersion) {
+      fail("unsupported version " + std::to_string(version));
+    }
+    if (get<std::uint32_t>(base_, kOffEndian) != kEndianMarker) {
+      fail("endianness mismatch (snapshot written on a foreign-endian host)");
+    }
+    if (get<std::uint32_t>(base_, kOffHeaderBytes) != kHeaderBytes) {
+      fail("unexpected header size");
+    }
+    const auto v64 = get<std::uint64_t>(base_, kOffNumVertices);
+    const auto e64 = get<std::uint64_t>(base_, kOffNumEdges);
+    if (v64 >= kInvalidVertex) fail("vertex count exceeds 32-bit id space");
+    // Bound the counts by the file size BEFORE any size arithmetic: a
+    // hostile e64 near 2^64 would otherwise wrap e64 * sizeof(Edge) and
+    // slip past the section-length checks. (v64 < 2^32, so its products
+    // cannot wrap.)
+    if (e64 > size_ / sizeof(Edge)) {
+      fail("edge count exceeds the file (truncated or hostile header)");
+    }
+    num_vertices_ = static_cast<VertexId>(v64);
+    const auto flags = get<std::uint32_t>(base_, kOffFlags);
+    const auto name_len = get<std::uint32_t>(base_, kOffNameLen);
+    if (name_len > kMaxNameBytes) fail("implausible name length");
+    name_.assign(reinterpret_cast<const char*>(base_) + kOffName, name_len);
+
+    SectionEntry table[kNumSections];
+    std::memcpy(table, base_ + kOffSectionTable, sizeof table);
+    auto section = [&](Section s, std::uint64_t expect_bytes,
+                       const char* what) -> const std::byte* {
+      const SectionEntry& entry = table[s];
+      if (entry.bytes != expect_bytes) {
+        fail(std::string(what) + " section has wrong length");
+      }
+      if (entry.bytes == 0) return base_;  // empty span, any base will do
+      if (entry.offset % kPageAlign != 0) {
+        fail(std::string(what) + " section is not page-aligned");
+      }
+      if (entry.offset > size_ || size_ - entry.offset < entry.bytes) {
+        fail(std::string(what) + " section exceeds the file (truncated?)");
+      }
+      return base_ + entry.offset;
+    };
+
+    const std::uint64_t v_plus_1 = v64 + 1;
+    edges_ = {reinterpret_cast<const Edge*>(
+                  section(kSecEdges, e64 * sizeof(Edge), "edge")),
+              static_cast<std::size_t>(e64)};
+    const std::uint64_t weight_bytes =
+        (flags & kFlagWeighted) != 0 ? e64 * sizeof(float) : 0;
+    weights_ = {reinterpret_cast<const float*>(
+                    section(kSecWeights, weight_bytes, "weight")),
+                static_cast<std::size_t>(weight_bytes / sizeof(float))};
+    csr_offsets_ = {
+        reinterpret_cast<const std::uint64_t*>(section(
+            kSecCsrOffsets, v_plus_1 * sizeof(std::uint64_t), "csr-offset")),
+        static_cast<std::size_t>(v_plus_1)};
+    out_degrees_ = {
+        reinterpret_cast<const std::uint32_t*>(section(
+            kSecOutDegrees, v64 * sizeof(std::uint32_t), "out-degree")),
+        static_cast<std::size_t>(v64)};
+    in_degrees_ = {
+        reinterpret_cast<const std::uint32_t*>(section(
+            kSecInDegrees, v64 * sizeof(std::uint32_t), "in-degree")),
+        static_cast<std::size_t>(v64)};
+  } catch (...) {
+    unmap();
+    throw;
+  }
+}
+
+void MappedGraph::validate() const {
+  if (csr_offsets_.front() != 0 || csr_offsets_.back() != num_edges()) {
+    fail("csr offsets do not span the edge section");
+  }
+  std::uint64_t out_sum = 0;
+  std::uint64_t in_sum = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    if (csr_offsets_[v + 1] < csr_offsets_[v]) {
+      fail("csr offsets are not monotone");
+    }
+    if (csr_offsets_[v + 1] - csr_offsets_[v] != out_degrees_[v]) {
+      fail("out-degree section disagrees with csr offsets");
+    }
+    out_sum += out_degrees_[v];
+    in_sum += in_degrees_[v];
+  }
+  if (out_sum != num_edges() || in_sum != num_edges()) {
+    fail("degree sections do not sum to the edge count");
+  }
+  const Edge* prev = nullptr;
+  for (const Edge& e : edges_) {
+    if (e.src >= num_vertices_ || e.dst >= num_vertices_) {
+      fail("edge endpoint out of range");
+    }
+    if (prev != nullptr &&
+        (prev->src > e.src || (prev->src == e.src && prev->dst > e.dst))) {
+      fail("edge section is not in canonical (src, dst) order");
+    }
+    prev = &e;
+  }
+}
+
+void MappedGraph::unmap() noexcept {
+  if (base_ == nullptr) return;
+#if defined(_WIN32)
+  std::free(const_cast<std::byte*>(base_));
+#else
+  ::munmap(const_cast<std::byte*>(base_), size_);
+#endif
+  base_ = nullptr;
+  size_ = 0;
+}
+
+MappedGraph::~MappedGraph() { unmap(); }
+
+MappedGraph::MappedGraph(MappedGraph&& other) noexcept
+    : base_(other.base_),
+      size_(other.size_),
+      num_vertices_(other.num_vertices_),
+      name_(std::move(other.name_)),
+      edges_(other.edges_),
+      weights_(other.weights_),
+      csr_offsets_(other.csr_offsets_),
+      out_degrees_(other.out_degrees_),
+      in_degrees_(other.in_degrees_) {
+  other.base_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedGraph& MappedGraph::operator=(MappedGraph&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    base_ = other.base_;
+    size_ = other.size_;
+    num_vertices_ = other.num_vertices_;
+    name_ = std::move(other.name_);
+    edges_ = other.edges_;
+    weights_ = other.weights_;
+    csr_offsets_ = other.csr_offsets_;
+    out_degrees_ = other.out_degrees_;
+    in_degrees_ = other.in_degrees_;
+    other.base_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+}  // namespace ebv

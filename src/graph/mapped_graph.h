@@ -1,0 +1,145 @@
+// EBVS out-of-core graph snapshots: a versioned, page-aligned on-disk
+// format whose sections can be mmap'ed and consumed through GraphView
+// without ever materialising the graph in heap memory.
+//
+// Layout (byte-level spec in docs/FORMATS.md): a 4 KiB header page —
+// magic "EBVS", version, endianness marker, counts, flags, name, section
+// table — followed by five raw little-endian sections, each starting at a
+// 4096-byte-aligned offset:
+//
+//   edges         Edge{u32 src, u32 dst} × |E|, ascending (src, dst)
+//   weights       f32 × |E| (absent when the graph is unweighted)
+//   csr_offsets   u64 × (|V|+1); edges[csr_offsets[v] .. csr_offsets[v+1])
+//                 are exactly the out-edges of v (valid because the edge
+//                 section is src-sorted)
+//   out_degrees   u32 × |V|
+//   in_degrees    u32 × |V|
+//
+// The edge order of a snapshot is CANONICAL: ascending (src, dst), ties
+// in first-seen input order. write_snapshot_file() canonicalises whatever
+// view it is given; read_snapshot_file() and MappedGraph::view() both
+// present the file's edge sequence verbatim, so the resident and mapped
+// paths see the same graph with the same edge ids — the invariant behind
+// the bit-identical `ebvpart partition --mmap` guarantee.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/graph_view.h"
+
+namespace ebv {
+
+namespace io {
+
+/// Write `view` as an EBVS snapshot, canonicalising the edge order to
+/// ascending (src, dst) (stable, weights follow their edges). Throws
+/// std::runtime_error on I/O failure.
+void write_snapshot_file(const std::string& path, const GraphView& view);
+
+/// Read a snapshot fully into a resident Graph (same edge order as the
+/// file). Throws std::runtime_error on malformed input.
+Graph read_snapshot_file(const std::string& path);
+
+namespace detail {
+
+/// Streaming producer of an EBVS file: edges are appended one at a time
+/// in canonical (src, dst) order — the caller guarantees the order — and
+/// the trailing sections are emitted by finish(). Weights are spooled to
+/// a sibling temp file until the edge count is final, so a writer never
+/// holds more than a fixed-size buffer; this is what lets the external-
+/// sort converter emit snapshots larger than RAM. Shared by
+/// write_snapshot_file() and convert_edge_list_to_snapshot().
+class SnapshotWriter {
+ public:
+  /// Starts the file (placeholder header + open edge section).
+  SnapshotWriter(const std::string& path, std::string_view name,
+                 bool weighted);
+  ~SnapshotWriter();
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  /// Append the next edge; `weight` is ignored for unweighted writers.
+  void append(const Edge& edge, float weight);
+
+  [[nodiscard]] EdgeId edges_appended() const { return num_edges_; }
+
+  /// Write the weight/csr/degree sections (degree spans must describe
+  /// exactly the appended edge sequence) and patch the header. Must be
+  /// called exactly once.
+  void finish(VertexId num_vertices,
+              std::span<const std::uint32_t> out_degrees,
+              std::span<const std::uint32_t> in_degrees);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  EdgeId num_edges_ = 0;
+};
+
+}  // namespace detail
+}  // namespace io
+
+/// An EBVS snapshot mapped read-only into the address space. The sections
+/// are demand-paged by the kernel: view() costs no reads up front, and
+/// partitioning a mapped graph touches edge pages in stream order while
+/// only the O(|V|) degree/offset sections and the partitioner's own state
+/// compete for RAM — the explicit memory budget is the page cache.
+class MappedGraph {
+ public:
+  /// Open + map `path` and validate the header and section table (magic,
+  /// version, endianness, counts, bounds, alignment). Throws
+  /// std::runtime_error on any mismatch. Section *contents* are trusted
+  /// until validate() is called.
+  explicit MappedGraph(const std::string& path);
+  ~MappedGraph();
+
+  MappedGraph(const MappedGraph&) = delete;
+  MappedGraph& operator=(const MappedGraph&) = delete;
+  MappedGraph(MappedGraph&& other) noexcept;
+  MappedGraph& operator=(MappedGraph&& other) noexcept;
+
+  /// Non-owning view over the mapped sections; valid while *this lives.
+  [[nodiscard]] GraphView view() const {
+    return {num_vertices_, edges_, weights_, out_degrees_, in_degrees_,
+            name_};
+  }
+
+  [[nodiscard]] VertexId num_vertices() const { return num_vertices_; }
+  [[nodiscard]] EdgeId num_edges() const { return edges_.size(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// The CSR out-offset section: edges()[csr_offsets[v] .. csr_offsets[v+1])
+  /// are the out-edges of v.
+  [[nodiscard]] std::span<const std::uint64_t> csr_offsets() const {
+    return csr_offsets_;
+  }
+  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+
+  /// Total bytes mapped (header + sections + padding).
+  [[nodiscard]] std::size_t mapped_bytes() const { return size_; }
+
+  /// One sequential pass over every section verifying the invariants the
+  /// header cannot express: endpoints < |V|, edges ascending by (src,dst),
+  /// csr_offsets monotone and consistent with the edge section, degree
+  /// sections summing to |E| each. Throws std::runtime_error on the first
+  /// violation. O(|V| + |E|) reads.
+  void validate() const;
+
+ private:
+  void unmap() noexcept;
+
+  const std::byte* base_ = nullptr;
+  std::size_t size_ = 0;
+  VertexId num_vertices_ = 0;
+  std::string name_;
+  std::span<const Edge> edges_;
+  std::span<const float> weights_;
+  std::span<const std::uint64_t> csr_offsets_;
+  std::span<const std::uint32_t> out_degrees_;
+  std::span<const std::uint32_t> in_degrees_;
+};
+
+}  // namespace ebv

@@ -1,0 +1,350 @@
+#include "graph/snapshot_convert.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/parallel.h"
+#include "graph/graph_view.h"
+#include "graph/io.h"
+#include "graph/mapped_graph.h"
+
+namespace ebv::io {
+namespace {
+
+/// One pending input edge: the unit spilled to runs and merged. 12 bytes;
+/// the memory budget divides by this.
+struct Record {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  float weight = 1.0f;
+};
+
+bool record_key_less(const Record& a, const Record& b) {
+  if (a.src != b.src) return a.src < b.src;
+  return a.dst < b.dst;
+}
+
+/// Stable (src, dst) sort of one run, fanned out over at most
+/// `num_threads` ranks: contiguous chunks are stable_sorted in parallel,
+/// then pairwise inplace_merged (stable, left chunk precedes right), so
+/// the result is the sequential stable_sort for every thread count.
+void sort_run(std::vector<Record>& records, std::uint32_t num_threads) {
+  const unsigned team = std::max<std::uint32_t>(num_threads, 1);
+  if (team <= 1 || records.size() < 1u << 14 ||
+      ThreadPool::inside_pool_body()) {
+    std::stable_sort(records.begin(), records.end(), record_key_less);
+    return;
+  }
+  std::vector<std::size_t> bounds(team + 1);
+  for (unsigned t = 0; t <= team; ++t) {
+    bounds[t] = records.size() * t / team;
+  }
+  ThreadPool::global().run_team(team, [&](unsigned rank, unsigned) {
+    std::stable_sort(
+        records.begin() + static_cast<std::ptrdiff_t>(bounds[rank]),
+        records.begin() + static_cast<std::ptrdiff_t>(bounds[rank + 1]),
+        record_key_less);
+  });
+  for (unsigned width = 1; width < team; width *= 2) {
+    for (unsigned t = 0; t + width < team; t += 2 * width) {
+      std::inplace_merge(
+          records.begin() + static_cast<std::ptrdiff_t>(bounds[t]),
+          records.begin() + static_cast<std::ptrdiff_t>(bounds[t + width]),
+          records.begin() + static_cast<std::ptrdiff_t>(
+                                bounds[std::min(t + 2 * width, team)]),
+          record_key_less);
+    }
+  }
+}
+
+/// Sequential reader over one spilled run file with a bounded refill
+/// buffer.
+class RunReader {
+ public:
+  RunReader(const std::string& path, EdgeId count)
+      : in_(path, std::ios::binary), remaining_(count), path_(path) {
+    if (!in_) throw std::runtime_error("convert: cannot reopen run: " + path);
+    refill();
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ == buf_.size(); }
+  [[nodiscard]] const Record& head() const { return buf_[pos_]; }
+
+  void pop() {
+    ++pos_;
+    if (pos_ == buf_.size()) refill();
+  }
+
+ private:
+  void refill() {
+    buf_.resize(std::min<EdgeId>(remaining_, kRefill));
+    pos_ = 0;
+    if (buf_.empty()) return;
+    in_.read(reinterpret_cast<char*>(buf_.data()),
+             static_cast<std::streamsize>(buf_.size() * sizeof(Record)));
+    if (!in_) throw std::runtime_error("convert: truncated run: " + path_);
+    remaining_ -= buf_.size();
+  }
+
+  static constexpr EdgeId kRefill = 1u << 15;
+  std::ifstream in_;
+  std::vector<Record> buf_;
+  std::size_t pos_ = 0;
+  EdgeId remaining_ = 0;
+  std::string path_;
+};
+
+/// Fast "src dst [weight]" parser ('#' comments, blank lines). Vertex ids
+/// must fit VertexId; anything else is a hard error with the line number.
+class TextEdgeReader {
+ public:
+  explicit TextEdgeReader(const std::string& path) : in_(path) {
+    if (!in_) throw std::runtime_error("cannot open for reading: " + path);
+  }
+
+  bool next(Record& record, bool& saw_weight) {
+    while (std::getline(in_, line_)) {
+      ++line_no_;
+      if (line_.empty() || line_[0] == '#') continue;
+      parse(record, saw_weight);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  [[noreturn]] void malformed() const {
+    throw std::runtime_error("edge list: malformed line " +
+                             std::to_string(line_no_) + ": '" + line_ + "'");
+  }
+
+  void parse(Record& record, bool& saw_weight) {
+    const char* p = line_.data();
+    const char* end = p + line_.size();
+    auto skip_ws = [&] {
+      while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+    };
+    auto parse_id = [&]() -> std::uint32_t {
+      std::uint64_t id = 0;
+      const auto [next, ec] = std::from_chars(p, end, id);
+      if (ec != std::errc{} || next == p) malformed();
+      // The snapshot reader rejects num_vertices >= kInvalidVertex, and
+      // num_vertices = max id + 1, so the largest admissible id is
+      // kInvalidVertex - 2 — reject here rather than emit a snapshot our
+      // own reader refuses to open.
+      if (id + 1 >= kInvalidVertex) {
+        throw std::runtime_error(
+            "edge list: vertex id " + std::to_string(id) + " on line " +
+            std::to_string(line_no_) +
+            " exceeds the 32-bit id space (compact ids first)");
+      }
+      p = next;
+      return static_cast<std::uint32_t>(id);
+    };
+    skip_ws();
+    record.src = parse_id();
+    skip_ws();
+    record.dst = parse_id();
+    skip_ws();
+    record.weight = 1.0f;
+    if (p < end) {
+      float w = 0.0f;
+      const auto [next, ec] = std::from_chars(p, end, w);
+      if (ec != std::errc{} || next == p) malformed();
+      p = next;
+      skip_ws();
+      if (p != end) malformed();
+      record.weight = w;
+      saw_weight = true;
+    }
+  }
+
+  std::ifstream in_;
+  std::string line_;
+  std::size_t line_no_ = 0;
+};
+
+std::string run_path(const ConvertOptions& options,
+                     const std::string& output_path, std::size_t index) {
+  namespace fs = std::filesystem;
+  const fs::path out(output_path);
+  const fs::path dir = options.temp_dir.empty()
+                           ? (out.has_parent_path() ? out.parent_path()
+                                                    : fs::path("."))
+                           : fs::path(options.temp_dir);
+  return (dir / (out.filename().string() + ".run" + std::to_string(index) +
+                 ".tmp"))
+      .string();
+}
+
+/// Resident convenience path for EBVG inputs (already written by this
+/// tool from a resident graph, so materialising it again is acceptable).
+ConvertStats convert_resident(const Graph& graph,
+                              const std::string& output_path) {
+  write_snapshot_file(output_path, graph);
+  ConvertStats stats;
+  stats.num_vertices = graph.num_vertices();
+  stats.edges_read = graph.num_edges();
+  stats.edges_written = graph.num_edges();
+  stats.num_runs = 1;
+  stats.weighted = graph.has_weights();
+  return stats;
+}
+
+}  // namespace
+
+ConvertStats convert_edge_list_to_snapshot(const std::string& input_path,
+                                           const std::string& output_path,
+                                           const ConvertOptions& options) {
+  if (input_path.ends_with(".ebvg")) {
+    ConvertStats stats = convert_resident(read_binary_file(input_path),
+                                          output_path);
+    stats.input_bytes = std::filesystem::file_size(input_path);
+    return stats;
+  }
+  if (input_path.ends_with(".ebvs")) {
+    throw std::runtime_error("convert: input is already an EBVS snapshot: " +
+                             input_path);
+  }
+
+  ConvertStats stats;
+  stats.input_bytes = std::filesystem::file_size(input_path);
+
+  // ---- Pass 1: stream the text, spill budget-sized sorted runs. --------
+  const std::size_t budget =
+      std::max<std::size_t>(options.memory_budget_bytes, 4096);
+  const std::size_t max_records = std::max<std::size_t>(
+      budget / sizeof(Record), 64);
+
+  std::vector<Record> buffer;
+  buffer.reserve(std::min<std::size_t>(max_records, 1u << 16));
+  std::vector<EdgeId> run_sizes;
+  std::vector<std::string> run_files;
+  VertexId max_id_plus_1 = 0;
+  bool weighted = false;
+
+  auto spill = [&] {
+    sort_run(buffer, options.num_threads);
+    const std::string path = run_path(options, output_path, run_files.size());
+    std::ofstream run(path, std::ios::binary | std::ios::trunc);
+    if (!run) throw std::runtime_error("convert: cannot open run: " + path);
+    run.write(reinterpret_cast<const char*>(buffer.data()),
+              static_cast<std::streamsize>(buffer.size() * sizeof(Record)));
+    if (!run) throw std::runtime_error("convert: run write failed: " + path);
+    run_files.push_back(path);
+    run_sizes.push_back(buffer.size());
+    buffer.clear();
+  };
+
+  auto cleanup_runs = [&]() noexcept {
+    for (const std::string& path : run_files) std::remove(path.c_str());
+  };
+
+  try {
+    TextEdgeReader reader(input_path);
+    Record record;
+    while (reader.next(record, weighted)) {
+      if (options.remove_self_loops && record.src == record.dst) {
+        ++stats.self_loops_dropped;
+        continue;
+      }
+      max_id_plus_1 = std::max<VertexId>(
+          max_id_plus_1, std::max(record.src, record.dst) + 1);
+      buffer.push_back(record);
+      ++stats.edges_read;
+      if (buffer.size() == max_records) spill();
+    }
+
+    // Single-run fast path: everything fit in the budget — sort in place
+    // and merge straight from memory, no temp I/O at all.
+    const bool in_memory = run_files.empty();
+    if (in_memory) {
+      sort_run(buffer, options.num_threads);
+      run_sizes.push_back(buffer.size());
+    } else if (!buffer.empty()) {
+      spill();
+    }
+    stats.num_runs = run_sizes.size();
+    stats.num_vertices = max_id_plus_1;
+
+    // ---- Pass 2: k-way merge into the snapshot. ----------------------
+    // Ties between equal (src, dst) keys break by run index; runs are
+    // contiguous input ranges in order, so the merged sequence is the
+    // stable sort of the input — byte-identical output for every budget.
+    std::vector<std::uint32_t> out_degrees(max_id_plus_1, 0);
+    std::vector<std::uint32_t> in_degrees(max_id_plus_1, 0);
+    detail::SnapshotWriter writer(
+        output_path, std::filesystem::path(input_path).stem().string(),
+        weighted);
+
+    bool have_last = false;
+    Record last;
+    auto emit = [&](const Record& r) {
+      if (options.deduplicate && have_last && last.src == r.src &&
+          last.dst == r.dst) {
+        ++stats.duplicates_dropped;
+        return;
+      }
+      writer.append({r.src, r.dst}, r.weight);
+      ++out_degrees[r.src];
+      ++in_degrees[r.dst];
+      last = r;
+      have_last = true;
+    };
+
+    if (in_memory) {
+      for (const Record& r : buffer) emit(r);
+    } else {
+      buffer.clear();
+      buffer.shrink_to_fit();  // release the budget before the merge buffers
+      std::vector<RunReader> readers;
+      readers.reserve(run_files.size());
+      for (std::size_t i = 0; i < run_files.size(); ++i) {
+        readers.emplace_back(run_files[i], run_sizes[i]);
+      }
+      // (key, run index) min-heap over the run heads.
+      auto heap_greater = [&](std::size_t a, std::size_t b) {
+        const Record& ra = readers[a].head();
+        const Record& rb = readers[b].head();
+        if (record_key_less(ra, rb)) return false;
+        if (record_key_less(rb, ra)) return true;
+        return a > b;
+      };
+      std::priority_queue<std::size_t, std::vector<std::size_t>,
+                          decltype(heap_greater)>
+          heap(heap_greater);
+      for (std::size_t i = 0; i < readers.size(); ++i) {
+        if (!readers[i].exhausted()) heap.push(i);
+      }
+      while (!heap.empty()) {
+        const std::size_t i = heap.top();
+        heap.pop();
+        emit(readers[i].head());
+        readers[i].pop();
+        if (!readers[i].exhausted()) heap.push(i);
+      }
+    }
+
+    stats.edges_written = writer.edges_appended();
+    stats.weighted = weighted;
+    writer.finish(max_id_plus_1, out_degrees, in_degrees);
+  } catch (...) {
+    cleanup_runs();
+    // Never leave a half-written placeholder-header snapshot behind — it
+    // could clobber a previously valid file at output_path.
+    std::remove(output_path.c_str());
+    throw;
+  }
+  cleanup_runs();
+  return stats;
+}
+
+}  // namespace ebv::io

@@ -1,0 +1,69 @@
+// Bounded-memory ingestion: convert an arbitrary text edge list (or an
+// EBVG binary graph) into an EBVS snapshot with a classic external merge
+// sort, so graphs far larger than RAM can be brought into the mmap path.
+//
+// Pass 1 streams the input, buffering fixed-size records until the
+// configured memory budget is hit, sorts each full buffer into a RUN
+// (ascending (src, dst), stable — parallel chunk-sort + merge on the
+// shared ThreadPool, bounded by `num_threads`) and spills it to a temp
+// file. Pass 2 k-way-merges the runs straight into the snapshot's edge and
+// weight sections, breaking key ties by run index, which makes the merged
+// sequence the STABLE sort of the input: converting with any budget, any
+// thread count — or with everything in one in-memory run — produces a
+// byte-identical snapshot.
+//
+// Memory model: O(budget) for the run buffer plus O(|V|) for the degree
+// accumulators; the edge data itself never lives in memory at once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace ebv::io {
+
+struct ConvertOptions {
+  /// Upper bound on the run buffer, in bytes (12 bytes per pending edge).
+  /// Inputs larger than this spill to sorted runs on disk. Clamped to at
+  /// least one 4 KiB page.
+  std::size_t memory_budget_bytes = std::size_t{256} << 20;
+
+  /// Bound on the ThreadPool fan-out while sorting each run; 1 = serial.
+  /// The output is identical for every value.
+  std::uint32_t num_threads = 1;
+
+  /// Drop (v, v) edges at parse time (matches GraphBuilder's default).
+  bool remove_self_loops = true;
+
+  /// Drop exact (src, dst) duplicates during the merge, keeping the first
+  /// occurrence in input order (and its weight).
+  bool deduplicate = false;
+
+  /// Directory for the spilled runs; empty = "<output path>.runs.<n>"
+  /// siblings next to the snapshot being written.
+  std::string temp_dir;
+};
+
+struct ConvertStats {
+  VertexId num_vertices = 0;
+  EdgeId edges_read = 0;       ///< records accepted from the input
+  EdgeId edges_written = 0;    ///< records in the snapshot
+  EdgeId self_loops_dropped = 0;
+  EdgeId duplicates_dropped = 0;
+  std::size_t num_runs = 0;    ///< sorted runs (1 = fit in budget)
+  std::uint64_t input_bytes = 0;
+  bool weighted = false;
+};
+
+/// Convert `input_path` (a '#'-commented "src dst [weight]" text edge
+/// list, or an EBVG binary when the path ends in ".ebvg") into an EBVS
+/// snapshot at `output_path`. Vertex ids must fit VertexId (dense ids are
+/// NOT required — the vertex count is max id + 1 — but ids ≥ 2^32 throw;
+/// sparse id spaces should be compacted with GraphBuilder first). Throws
+/// std::runtime_error on malformed input or I/O failure.
+ConvertStats convert_edge_list_to_snapshot(const std::string& input_path,
+                                           const std::string& output_path,
+                                           const ConvertOptions& options = {});
+
+}  // namespace ebv::io

@@ -7,7 +7,7 @@
 
 namespace ebv {
 
-double estimate_power_law_exponent(const Graph& graph,
+double estimate_power_law_exponent(const GraphView& graph,
                                    std::uint32_t min_degree) {
   if (min_degree == 0) {
     // Average total degree = 2|E|/|V|: fit the tail, not the Poisson bulk.
@@ -31,7 +31,7 @@ double estimate_power_law_exponent(const Graph& graph,
   return 1.0 + static_cast<double>(n) / log_sum;
 }
 
-std::vector<std::uint64_t> degree_histogram(const Graph& graph) {
+std::vector<std::uint64_t> degree_histogram(const GraphView& graph) {
   std::uint32_t max_degree = 0;
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
     max_degree = std::max(max_degree, graph.degree(v));
@@ -43,7 +43,7 @@ std::vector<std::uint64_t> degree_histogram(const Graph& graph) {
   return histogram;
 }
 
-GraphStats compute_stats(const Graph& graph) {
+GraphStats compute_stats(const GraphView& graph) {
   GraphStats s;
   s.num_vertices = graph.num_vertices();
   s.num_edges = graph.num_edges();

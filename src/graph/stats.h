@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace ebv {
 
@@ -25,12 +25,12 @@ struct GraphStats {
 /// dmin adaptively as the average total degree, which excludes the
 /// non-power-law low-degree bulk and recovers the generator exponent on
 /// synthetic graphs. Returns 0 when no vertex qualifies.
-double estimate_power_law_exponent(const Graph& graph,
+double estimate_power_law_exponent(const GraphView& graph,
                                    std::uint32_t min_degree = 0);
 
 /// histogram[d] = number of vertices with total degree d.
-std::vector<std::uint64_t> degree_histogram(const Graph& graph);
+std::vector<std::uint64_t> degree_histogram(const GraphView& graph);
 
-GraphStats compute_stats(const Graph& graph);
+GraphStats compute_stats(const GraphView& graph);
 
 }  // namespace ebv

@@ -14,9 +14,15 @@ EdgePartition EbvPartitioner::partition(const Graph& graph,
   return partition_traced(graph, config, 0, unused);
 }
 
+EdgePartition EbvPartitioner::partition_view(
+    const GraphView& view, const PartitionConfig& config) const {
+  std::vector<GrowthSample> unused;
+  return partition_traced(view, config, 0, unused);
+}
+
 EdgePartition EbvPartitioner::partition_traced(
-    const Graph& graph, const PartitionConfig& config, std::size_t num_samples,
-    std::vector<GrowthSample>& trace) const {
+    const GraphView& graph, const PartitionConfig& config,
+    std::size_t num_samples, std::vector<GrowthSample>& trace) const {
   check_partition_config(graph, config);
   trace.clear();
 
@@ -67,7 +73,7 @@ EdgePartition EbvPartitioner::partition_traced(
   return result;
 }
 
-double EbvPartitioner::edge_imbalance_bound(const Graph& graph,
+double EbvPartitioner::edge_imbalance_bound(const GraphView& graph,
                                             const PartitionConfig& config) {
   EBV_REQUIRE(config.alpha > 0.0, "Theorem 1 requires alpha > 0");
   const double e = static_cast<double>(graph.num_edges());
@@ -78,7 +84,7 @@ double EbvPartitioner::edge_imbalance_bound(const Graph& graph,
   return 1.0 + (p - 1.0) / e * (1.0 + inner);
 }
 
-double EbvPartitioner::vertex_imbalance_bound(const Graph& graph,
+double EbvPartitioner::vertex_imbalance_bound(const GraphView& graph,
                                               const PartitionConfig& config,
                                               std::uint64_t sum_vi) {
   EBV_REQUIRE(config.beta > 0.0, "Theorem 2 requires beta > 0");

@@ -28,20 +28,26 @@ class EbvPartitioner final : public Partitioner {
   [[nodiscard]] EdgePartition partition(
       const Graph& graph, const PartitionConfig& config) const override;
 
+  /// Zero-copy out-of-core path: Algorithm 1 streams the view's edge
+  /// section (possibly mmap-paged) with only the O(|V|) replica masks and
+  /// the edge order resident. Bit-identical to partition().
+  [[nodiscard]] EdgePartition partition_view(
+      const GraphView& view, const PartitionConfig& config) const override;
+
   /// As partition(), but additionally records `num_samples` evenly spaced
   /// replication-factor samples into `trace` (cleared first).
-  EdgePartition partition_traced(const Graph& graph,
+  EdgePartition partition_traced(const GraphView& graph,
                                  const PartitionConfig& config,
                                  std::size_t num_samples,
                                  std::vector<GrowthSample>& trace) const;
 
   /// Theorem 1: worst-case upper bound of the edge imbalance factor.
-  static double edge_imbalance_bound(const Graph& graph,
+  static double edge_imbalance_bound(const GraphView& graph,
                                      const PartitionConfig& config);
 
   /// Theorem 2: worst-case upper bound of the vertex imbalance factor.
   /// `sum_vi` is Σ|Vj| from the realised partition.
-  static double vertex_imbalance_bound(const Graph& graph,
+  static double vertex_imbalance_bound(const GraphView& graph,
                                        const PartitionConfig& config,
                                        std::uint64_t sum_vi);
 };

@@ -12,6 +12,11 @@ namespace ebv {
 
 EdgePartition StreamingEbvPartitioner::partition(
     const Graph& graph, const PartitionConfig& config) const {
+  return partition_view(GraphView(graph), config);
+}
+
+EdgePartition StreamingEbvPartitioner::partition_view(
+    const GraphView& graph, const PartitionConfig& config) const {
   check_partition_config(graph, config);
   EBV_REQUIRE(window_ >= 1, "window must be at least 1");
 

@@ -25,6 +25,13 @@ class StreamingEbvPartitioner final : public Partitioner {
   [[nodiscard]] EdgePartition partition(
       const Graph& graph, const PartitionConfig& config) const override;
 
+  /// Zero-copy out-of-core path: the lazy generator ingests the view's
+  /// edge section in stream order (an mmap-backed section is paged in
+  /// sequentially), keeping only the window heap, the partial degrees and
+  /// the replica masks resident. Bit-identical to partition().
+  [[nodiscard]] EdgePartition partition_view(
+      const GraphView& view, const PartitionConfig& config) const override;
+
   [[nodiscard]] std::size_t window() const { return window_; }
 
  private:

@@ -53,56 +53,9 @@
 #include "common/assert.h"
 #include "common/parallel.h"
 #include "partition/partitioner.h"
+#include "partition/replica_masks.h"
 
 namespace ebv::detail {
-
-/// Vertex-major replica-membership bitmasks: ceil(num_parts/64) uint64
-/// words per vertex, bit i of word i/64 set iff the vertex is replicated
-/// on part i. Shared by EvaState and HDRF.
-class ReplicaMasks {
- public:
-  ReplicaMasks(VertexId num_vertices, PartitionId num_parts)
-      : words_(std::max<PartitionId>(1, (num_parts + 63) / 64)),
-        last_word_mask_(num_parts % 64 == 0
-                            ? ~std::uint64_t{0}
-                            : (std::uint64_t{1} << (num_parts % 64)) - 1),
-        bits_(static_cast<std::size_t>(num_vertices) * words_, 0) {}
-
-  /// Mask words per vertex (⌈p/64⌉).
-  [[nodiscard]] std::uint32_t words_per_vertex() const { return words_; }
-
-  /// Valid-part mask for word w: all-ones except the (possibly partial)
-  /// last word.
-  [[nodiscard]] std::uint64_t word_mask(std::uint32_t w) const {
-    return w + 1 == words_ ? last_word_mask_ : ~std::uint64_t{0};
-  }
-
-  /// The vertex's contiguous row of words_per_vertex() mask words.
-  [[nodiscard]] const std::uint64_t* row(VertexId v) const {
-    return bits_.data() + static_cast<std::size_t>(v) * words_;
-  }
-
-  /// 1 when v is replicated on part i, else 0 (int so callers can do
-  /// exact small-integer arithmetic before converting to double).
-  [[nodiscard]] int test(VertexId v, PartitionId i) const {
-    return static_cast<int>(row(v)[i >> 6] >> (i & 63)) & 1;
-  }
-
-  /// Set (v, i); returns true when the bit was newly set.
-  bool set(VertexId v, PartitionId i) {
-    std::uint64_t& word =
-        bits_[static_cast<std::size_t>(v) * words_ + (i >> 6)];
-    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
-    if ((word & bit) != 0) return false;
-    word |= bit;
-    return true;
-  }
-
- private:
-  std::uint32_t words_;
-  std::uint64_t last_word_mask_;
-  std::vector<std::uint64_t> bits_;
-};
 
 struct EvaState {
   PartitionId num_parts = 0;
@@ -122,7 +75,7 @@ struct EvaState {
   std::vector<double> load_e;
   std::vector<double> load_v;
 
-  EvaState(const Graph& graph, const PartitionConfig& config)
+  EvaState(const GraphView& graph, const PartitionConfig& config)
       : num_parts(config.num_parts),
         num_vertices(graph.num_vertices()),
         alpha(config.alpha),

@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <limits>
 
-#include "partition/eva_scorer.h"
+#include "partition/replica_masks.h"
 
 namespace ebv {
 
 EdgePartition HdrfPartitioner::partition(const Graph& graph,
                                          const PartitionConfig& config) const {
+  return partition_view(GraphView(graph), config);
+}
+
+EdgePartition HdrfPartitioner::partition_view(
+    const GraphView& graph, const PartitionConfig& config) const {
   check_partition_config(graph, config);
   const PartitionId p = config.num_parts;
   constexpr double kEpsilon = 1.0;
@@ -19,7 +24,7 @@ EdgePartition HdrfPartitioner::partition(const Graph& graph,
   // Replica membership shares the Eva core's vertex-major bitmasks
   // (|V|·⌈p/64⌉ words) instead of the former p separate |V|-byte vectors,
   // so the per-edge scan reads two contiguous mask rows.
-  detail::ReplicaMasks replicas(graph.num_vertices(), p);
+  ReplicaMasks replicas(graph.num_vertices(), p);
   std::vector<std::uint64_t> ecount(p, 0);
 
   EdgePartition result;

@@ -19,6 +19,12 @@ class HdrfPartitioner final : public Partitioner {
   [[nodiscard]] EdgePartition partition(
       const Graph& graph, const PartitionConfig& config) const override;
 
+  /// Zero-copy out-of-core path: one pass over the view's edge section
+  /// with only the partial degrees, the replica masks and the part sizes
+  /// resident. Bit-identical to partition().
+  [[nodiscard]] EdgePartition partition_view(
+      const GraphView& view, const PartitionConfig& config) const override;
+
  private:
   double lambda_;
 };

@@ -1,13 +1,15 @@
 #include "partition/metrics.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/assert.h"
+#include "partition/replica_masks.h"
 
 namespace ebv {
 
 std::vector<std::vector<std::uint8_t>> vertex_membership(
-    const Graph& graph, const EdgePartition& partition) {
+    const GraphView& graph, const EdgePartition& partition) {
   EBV_REQUIRE(partition.part_of_edge.size() == graph.num_edges(),
               "partition size does not match the graph's edge count");
   std::vector<std::vector<std::uint8_t>> member(
@@ -22,19 +24,43 @@ std::vector<std::vector<std::uint8_t>> vertex_membership(
   return member;
 }
 
-PartitionMetrics compute_metrics(const Graph& graph,
+PartitionMetrics compute_metrics(const GraphView& graph,
                                  const EdgePartition& partition) {
-  const auto member = vertex_membership(graph, partition);
+  EBV_REQUIRE(partition.part_of_edge.size() == graph.num_edges(),
+              "partition size does not match the graph's edge count");
   const PartitionId p = partition.num_parts;
 
   PartitionMetrics m;
   m.edges_per_part.assign(p, 0);
   m.vertices_per_part.assign(p, 0);
-  for (const PartitionId i : partition.part_of_edge) ++m.edges_per_part[i];
-  for (PartitionId i = 0; i < p; ++i) {
-    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-      m.vertices_per_part[i] += member[i][v];
+
+  // Vertex membership as vertex-major bitmasks (|V|·⌈p/64⌉ words) rather
+  // than the part-major p×|V| byte matrix of vertex_membership(): 8×
+  // smaller, which matters because the metrics pass follows an
+  // out-of-core `--mmap` partition run and must not become its resident
+  // high-water mark.
+  ReplicaMasks member(graph.num_vertices(), p);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const PartitionId i = partition.part_of_edge[e];
+    EBV_REQUIRE(i < p, "edge assigned to invalid part");
+    ++m.edges_per_part[i];
+    member.set(graph.edge(e).src, i);
+    member.set(graph.edge(e).dst, i);
+  }
+  const std::uint32_t words = member.words_per_vertex();
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const std::uint64_t* row = member.row(v);
+    for (std::uint32_t w = 0; w < words; ++w) {
+      std::uint64_t bits = row[w];
+      while (bits != 0) {
+        ++m.vertices_per_part[static_cast<PartitionId>(w) * 64 +
+                              static_cast<PartitionId>(
+                                  std::countr_zero(bits))];
+        bits &= bits - 1;
+      }
     }
+  }
+  for (PartitionId i = 0; i < p; ++i) {
     m.total_replicas += m.vertices_per_part[i];
   }
 
@@ -59,7 +85,7 @@ PartitionMetrics compute_metrics(const Graph& graph,
 }
 
 PartitionMetrics compute_edge_cut_metrics(
-    const Graph& graph, const std::vector<PartitionId>& vertex_part,
+    const GraphView& graph, const std::vector<PartitionId>& vertex_part,
     PartitionId num_parts) {
   EBV_REQUIRE(vertex_part.size() == graph.num_vertices(),
               "vertex partition does not match the graph");

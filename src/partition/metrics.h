@@ -20,23 +20,25 @@ struct PartitionMetrics {
   double replication_factor = 0.0;
 };
 
-/// Computes all metrics in one pass over the edge list.
+/// Computes all metrics in one pass over the edge list. Accepts any
+/// GraphView (a resident Graph converts implicitly; an mmap-backed
+/// snapshot view streams its edge section).
 /// Throws std::invalid_argument if the partition does not match the graph
 /// (size mismatch or out-of-range part id).
-PartitionMetrics compute_metrics(const Graph& graph,
+PartitionMetrics compute_metrics(const GraphView& graph,
                                  const EdgePartition& partition);
 
 /// Per-part vertex membership bitmaps (part-major, |V| bytes per part) —
 /// shared by metrics and distributed-graph construction.
 std::vector<std::vector<std::uint8_t>> vertex_membership(
-    const Graph& graph, const EdgePartition& partition);
+    const GraphView& graph, const EdgePartition& partition);
 
 /// Edge-cut (vertex partitioning) metrics — the paper's §III-C variant for
 /// METIS-style partitioners: V_i are the *disjoint* owned vertex sets,
 /// E_i = {(u,v) : u ∈ V_i ∨ v ∈ V_i} (cross edges replicated into both
 /// parts), and the replication factor is Σ|Ei| / |E|.
 PartitionMetrics compute_edge_cut_metrics(
-    const Graph& graph, const std::vector<PartitionId>& vertex_part,
+    const GraphView& graph, const std::vector<PartitionId>& vertex_part,
     PartitionId num_parts);
 
 }  // namespace ebv

@@ -1,29 +1,25 @@
 #include "partition/partition_io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
 #include "common/assert.h"
+#include "common/binary_io.h"
 
 namespace ebv::io {
 namespace {
+
+using detail::write_pod;
 
 constexpr char kMagic[4] = {'E', 'B', 'V', 'P'};
 constexpr std::uint32_t kVersion = 1;
 
 template <typename T>
-void write_pod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof value);
-}
-
-template <typename T>
 T read_pod(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!in) throw std::runtime_error("EBVP: truncated input");
-  return value;
+  return detail::read_pod<T>(in, "EBVP");
 }
 
 void validate(const EdgePartition& partition) {
@@ -64,7 +60,9 @@ EdgePartition read_partition(std::istream& in) {
   edges = std::stoull(token.substr(6));
   (void)skip;
 
-  partition.part_of_edge.reserve(edges);
+  // Reserve is only a hint — cap it so a hostile header count cannot OOM.
+  partition.part_of_edge.reserve(
+      std::min<std::uint64_t>(edges, std::uint64_t{1} << 20));
   PartitionId value = 0;
   while (in >> value) partition.part_of_edge.push_back(value);
   if (partition.part_of_edge.size() != edges) {
@@ -113,10 +111,8 @@ EdgePartition read_partition_binary(std::istream& in) {
   EdgePartition partition;
   partition.num_parts = read_pod<PartitionId>(in);
   const auto edges = read_pod<std::uint64_t>(in);
-  partition.part_of_edge.resize(edges);
-  in.read(reinterpret_cast<char*>(partition.part_of_edge.data()),
-          static_cast<std::streamsize>(edges * sizeof(PartitionId)));
-  if (!in) throw std::runtime_error("EBVP: truncated part array");
+  partition.part_of_edge =
+      detail::read_array<PartitionId>(in, edges, "EBVP", "part array");
   validate(partition);
   return partition;
 }

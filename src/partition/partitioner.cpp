@@ -46,7 +46,21 @@ void sort_ids(std::vector<EdgeId>& ids, std::uint32_t num_threads,
 
 }  // namespace
 
-std::vector<EdgeId> make_edge_order(const Graph& graph, EdgeOrder order,
+EdgePartition Partitioner::partition_view(const GraphView& view,
+                                          const PartitionConfig& config) const {
+  // Fallback for algorithms that need random access to materialised
+  // auxiliary structures (CSR, orderings over owned vectors): copy the
+  // mapped sections into a resident Graph. Streaming partitioners override
+  // this with a true zero-copy path.
+  Graph resident(view.num_vertices(),
+                 std::vector<Edge>(view.edges().begin(), view.edges().end()),
+                 std::vector<float>(view.weights().begin(),
+                                    view.weights().end()));
+  resident.set_name(std::string(view.name()));
+  return partition(resident, config);
+}
+
+std::vector<EdgeId> make_edge_order(const GraphView& graph, EdgeOrder order,
                                     std::uint64_t seed,
                                     std::uint32_t num_threads) {
   std::vector<EdgeId> ids(graph.num_edges());
@@ -101,7 +115,7 @@ std::vector<EdgeId> make_edge_order(const Graph& graph, EdgeOrder order,
   return ids;
 }
 
-void check_partition_config(const Graph& graph,
+void check_partition_config(const GraphView& graph,
                             const PartitionConfig& config) {
   EBV_REQUIRE(config.num_parts >= 1, "num_parts must be positive");
   EBV_REQUIRE(graph.num_vertices() > 0, "cannot partition an empty graph");

@@ -8,7 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace ebv {
 
@@ -74,6 +74,16 @@ class Partitioner {
   /// Throws std::invalid_argument for num_parts == 0 or > |E| scale issues.
   [[nodiscard]] virtual EdgePartition partition(
       const Graph& graph, const PartitionConfig& config) const = 0;
+
+  /// Out-of-core entry point: partition a graph presented as a non-owning
+  /// view — typically an mmap-backed EBVS snapshot (graph/mapped_graph.h).
+  /// The streaming partitioners (EBV, streaming EBV, HDRF) override this
+  /// to run directly over the view with O(|V|) resident state; the default
+  /// materialises a resident Graph copy first, so every algorithm accepts
+  /// a snapshot. Results are identical to partition() on a resident Graph
+  /// holding the same edge sequence.
+  [[nodiscard]] virtual EdgePartition partition_view(
+      const GraphView& view, const PartitionConfig& config) const;
 };
 
 /// Materialise the edge-visit order requested by `order`. Sorting is stable
@@ -81,11 +91,12 @@ class Partitioner {
 /// With num_threads > 1 the sort runs as chunk-sort + merge on the global
 /// pool; the comparator is a strict total order, so the output is identical
 /// to the sequential sort for every thread count.
-std::vector<EdgeId> make_edge_order(const Graph& graph, EdgeOrder order,
+std::vector<EdgeId> make_edge_order(const GraphView& graph, EdgeOrder order,
                                     std::uint64_t seed,
                                     std::uint32_t num_threads = 1);
 
 /// Validate common preconditions shared by all partitioners.
-void check_partition_config(const Graph& graph, const PartitionConfig& config);
+void check_partition_config(const GraphView& graph,
+                            const PartitionConfig& config);
 
 }  // namespace ebv

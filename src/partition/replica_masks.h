@@ -1,0 +1,62 @@
+// Vertex-major replica-membership bitmasks, shared by the Eva scoring
+// core (eva_scorer.h), HDRF and the partition metrics: every vertex owns
+// ceil(num_parts/64) contiguous uint64 words whose bit i says "v is
+// replicated on part i". Compared with a part-major p × |V| byte matrix
+// this is an 8× memory reduction (|V|·⌈p/64⌉·8 bytes instead of p·|V|),
+// and testing a vertex against all p parts reads one contiguous row.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ebv {
+
+class ReplicaMasks {
+ public:
+  ReplicaMasks(VertexId num_vertices, PartitionId num_parts)
+      : words_(std::max<PartitionId>(1, (num_parts + 63) / 64)),
+        last_word_mask_(num_parts % 64 == 0
+                            ? ~std::uint64_t{0}
+                            : (std::uint64_t{1} << (num_parts % 64)) - 1),
+        bits_(static_cast<std::size_t>(num_vertices) * words_, 0) {}
+
+  /// Mask words per vertex (⌈p/64⌉).
+  [[nodiscard]] std::uint32_t words_per_vertex() const { return words_; }
+
+  /// Valid-part mask for word w: all-ones except the (possibly partial)
+  /// last word.
+  [[nodiscard]] std::uint64_t word_mask(std::uint32_t w) const {
+    return w + 1 == words_ ? last_word_mask_ : ~std::uint64_t{0};
+  }
+
+  /// The vertex's contiguous row of words_per_vertex() mask words.
+  [[nodiscard]] const std::uint64_t* row(VertexId v) const {
+    return bits_.data() + static_cast<std::size_t>(v) * words_;
+  }
+
+  /// 1 when v is replicated on part i, else 0 (int so callers can do
+  /// exact small-integer arithmetic before converting to double).
+  [[nodiscard]] int test(VertexId v, PartitionId i) const {
+    return static_cast<int>(row(v)[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Set (v, i); returns true when the bit was newly set.
+  bool set(VertexId v, PartitionId i) {
+    std::uint64_t& word =
+        bits_[static_cast<std::size_t>(v) * words_ + (i >> 6)];
+    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+    if ((word & bit) != 0) return false;
+    word |= bit;
+    return true;
+  }
+
+ private:
+  std::uint32_t words_;
+  std::uint64_t last_word_mask_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace ebv

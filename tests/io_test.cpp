@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 
 #include "graph/generators.h"
@@ -75,6 +76,43 @@ TEST(Io, BinaryRoundTripWithWeights) {
 
 TEST(Io, BinaryRejectsBadMagic) {
   std::stringstream ss("NOPE....................");
+  EXPECT_THROW(io::read_binary(ss), std::runtime_error);
+}
+
+/// Serialise g, overwrite `len` bytes at `offset`, return a stream over
+/// the corrupted bytes.
+std::stringstream corrupted_binary(const Graph& g, std::size_t offset,
+                                   const void* bytes, std::size_t len) {
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_binary(full, g);
+  std::string data = full.str();
+  EXPECT_LE(offset + len, data.size());
+  data.replace(offset, len, static_cast<const char*>(bytes), len);
+  return std::stringstream(data, std::ios::in | std::ios::binary);
+}
+
+TEST(Io, BinaryRejectsWrongVersion) {
+  const Graph g = gen::erdos_renyi(30, 60, 2);
+  const std::uint32_t version = 99;  // version field sits after the magic
+  auto ss = corrupted_binary(g, 4, &version, sizeof version);
+  EXPECT_THROW(io::read_binary(ss), std::runtime_error);
+}
+
+TEST(Io, BinaryRejectsOversizedNameLength) {
+  const Graph g = gen::erdos_renyi(30, 60, 2);
+  const std::uint32_t huge = 0x40000000;  // 1 GiB name: reject, don't alloc
+  auto ss = corrupted_binary(g, 8, &huge, sizeof huge);
+  EXPECT_THROW(io::read_binary(ss), std::runtime_error);
+}
+
+TEST(Io, BinaryRejectsOversizedEdgeCount) {
+  Graph g = gen::erdos_renyi(30, 60, 2);
+  g.set_name("x");
+  // Header: magic(4) version(4) name_len(4) name(1) num_vertices(4) then
+  // num_edges(8). A count far beyond the stream must throw runtime_error
+  // (chunked reads), not OOM or crash.
+  const std::uint64_t huge = std::uint64_t{1} << 40;
+  auto ss = corrupted_binary(g, 17, &huge, sizeof huge);
   EXPECT_THROW(io::read_binary(ss), std::runtime_error);
 }
 

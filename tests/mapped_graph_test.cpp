@@ -1,0 +1,262 @@
+// EBVS snapshot format: round trips, canonical edge order, page-aligned
+// mmap sections, and the negative paths (bad magic/version/endianness,
+// truncation, hostile section tables).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/mapped_graph.h"
+
+namespace ebv {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+/// The canonical (ascending (src, dst), stable) reordering a snapshot
+/// applies — the reference the format is tested against.
+Graph canonicalise(const Graph& g) {
+  std::vector<EdgeId> order(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) order[e] = e;
+  std::stable_sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    if (g.edge(a).src != g.edge(b).src) return g.edge(a).src < g.edge(b).src;
+    return g.edge(a).dst < g.edge(b).dst;
+  });
+  std::vector<Edge> edges;
+  std::vector<float> weights;
+  for (const EdgeId e : order) {
+    edges.push_back(g.edge(e));
+    if (g.has_weights()) weights.push_back(g.weight(e));
+  }
+  Graph out(g.num_vertices(), std::move(edges), std::move(weights));
+  out.set_name(g.name());
+  return out;
+}
+
+void expect_view_equals_graph(const GraphView& v, const Graph& g) {
+  ASSERT_EQ(v.num_vertices(), g.num_vertices());
+  ASSERT_EQ(v.num_edges(), g.num_edges());
+  ASSERT_EQ(v.has_weights(), g.has_weights());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(v.edge(e), g.edge(e)) << "edge " << e;
+    EXPECT_FLOAT_EQ(v.weight(e), g.weight(e)) << "weight " << e;
+  }
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    EXPECT_EQ(v.out_degree(u), g.out_degree(u)) << "out degree " << u;
+    EXPECT_EQ(v.in_degree(u), g.in_degree(u)) << "in degree " << u;
+  }
+}
+
+std::string write_sample(const std::string& file, bool weighted) {
+  Graph g = weighted ? gen::road_grid(14, 14, 0.9, 5)
+                     : gen::chung_lu(400, 3000, 2.4, false, 9);
+  g.set_name("snapshot-sample");
+  const std::string path = temp_path(file);
+  io::write_snapshot_file(path, g);
+  return path;
+}
+
+TEST(Snapshot, ResidentRoundTripIsCanonicalised) {
+  Graph g = gen::chung_lu(300, 2500, 2.4, false, 5);
+  g.set_name("round-trip");
+  const std::string path = temp_path("ebvs_roundtrip.ebvs");
+  io::write_snapshot_file(path, g);
+  const Graph back = io::read_snapshot_file(path);
+  EXPECT_EQ(back.name(), "round-trip");
+  const Graph expected = canonicalise(g);
+  ASSERT_EQ(back.num_edges(), expected.num_edges());
+  for (EdgeId e = 0; e < expected.num_edges(); ++e) {
+    EXPECT_EQ(back.edge(e), expected.edge(e));
+  }
+}
+
+TEST(Snapshot, MappedViewMatchesResidentLoad) {
+  const std::string path = write_sample("ebvs_mmap.ebvs", false);
+  const Graph resident = io::read_snapshot_file(path);
+  const MappedGraph mapped(path);
+  mapped.validate();
+  EXPECT_EQ(mapped.name(), "snapshot-sample");
+  expect_view_equals_graph(mapped.view(), resident);
+}
+
+TEST(Snapshot, WeightedRoundTrip) {
+  const std::string path = write_sample("ebvs_weighted.ebvs", true);
+  const Graph resident = io::read_snapshot_file(path);
+  ASSERT_TRUE(resident.has_weights());
+  const MappedGraph mapped(path);
+  mapped.validate();
+  expect_view_equals_graph(mapped.view(), resident);
+}
+
+TEST(Snapshot, CsrOffsetsIndexTheEdgeSection) {
+  const std::string path = write_sample("ebvs_csr.ebvs", false);
+  const MappedGraph mapped(path);
+  const auto offsets = mapped.csr_offsets();
+  ASSERT_EQ(offsets.size(), mapped.num_vertices() + 1u);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), mapped.num_edges());
+  for (VertexId v = 0; v < mapped.num_vertices(); ++v) {
+    for (std::uint64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+      EXPECT_EQ(mapped.edges()[e].src, v);
+    }
+  }
+}
+
+TEST(Snapshot, SectionsArePageAligned) {
+  const std::string path = write_sample("ebvs_align.ebvs", true);
+  const MappedGraph mapped(path);
+  const GraphView v = mapped.view();
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.edges().data()) % 4096, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.weights().data()) % 4096, 0u);
+  EXPECT_EQ(
+      reinterpret_cast<std::uintptr_t>(mapped.csr_offsets().data()) % 4096,
+      0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.out_degrees().data()) % 4096,
+            0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.in_degrees().data()) % 4096,
+            0u);
+}
+
+TEST(Snapshot, EmptyGraphRoundTrips) {
+  const Graph g(5, {});
+  const std::string path = temp_path("ebvs_empty.ebvs");
+  io::write_snapshot_file(path, g);
+  const MappedGraph mapped(path);
+  mapped.validate();
+  EXPECT_EQ(mapped.num_vertices(), 5u);
+  EXPECT_EQ(mapped.num_edges(), 0u);
+}
+
+// ---- Negative paths -----------------------------------------------------
+
+/// Copy the sample snapshot, overwrite `len` bytes at `offset`, return the
+/// corrupted path.
+std::string corrupt(const std::string& src, std::size_t offset,
+                    const void* bytes, std::size_t len,
+                    const std::string& out_name) {
+  std::ifstream in(src, std::ios::binary);
+  std::vector<char> data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_LE(offset + len, data.size());
+  std::memcpy(data.data() + offset, bytes, len);
+  const std::string out_path = temp_path(out_name);
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  return out_path;
+}
+
+TEST(Snapshot, RejectsMissingFile) {
+  EXPECT_THROW(MappedGraph("/nonexistent/x.ebvs"), std::runtime_error);
+  EXPECT_THROW(io::read_snapshot_file("/nonexistent/x.ebvs"),
+               std::runtime_error);
+}
+
+TEST(Snapshot, RejectsBadMagic) {
+  const std::string src = write_sample("ebvs_neg_src.ebvs", false);
+  const char magic[4] = {'N', 'O', 'P', 'E'};
+  const std::string bad = corrupt(src, 0, magic, 4, "ebvs_badmagic.ebvs");
+  EXPECT_THROW(MappedGraph{bad}, std::runtime_error);
+}
+
+TEST(Snapshot, RejectsWrongVersion) {
+  const std::string src = write_sample("ebvs_neg_src.ebvs", false);
+  const std::uint32_t version = 999;
+  const std::string bad =
+      corrupt(src, 4, &version, sizeof version, "ebvs_badver.ebvs");
+  EXPECT_THROW(MappedGraph{bad}, std::runtime_error);
+}
+
+TEST(Snapshot, RejectsForeignEndianness) {
+  const std::string src = write_sample("ebvs_neg_src.ebvs", false);
+  const std::uint32_t swapped = 0x0D0C0B0A;
+  const std::string bad =
+      corrupt(src, 8, &swapped, sizeof swapped, "ebvs_badend.ebvs");
+  EXPECT_THROW(MappedGraph{bad}, std::runtime_error);
+}
+
+TEST(Snapshot, RejectsOversizedEdgeCount) {
+  const std::string src = write_sample("ebvs_neg_src.ebvs", false);
+  // num_edges lives at offset 24; claiming more edges than the section
+  // holds must be caught by the section-table bounds check.
+  const std::uint64_t huge = std::uint64_t{1} << 40;
+  const std::string bad =
+      corrupt(src, 24, &huge, sizeof huge, "ebvs_badcount.ebvs");
+  EXPECT_THROW(MappedGraph{bad}, std::runtime_error);
+}
+
+TEST(Snapshot, RejectsEdgeCountWhoseByteSizeWraps) {
+  const std::string src = write_sample("ebvs_neg_src.ebvs", false);
+  // 2^61 edges: e64 * sizeof(Edge) wraps to 0 in 64 bits, so a naive
+  // section-length comparison would pass. The count must be bounded by
+  // the file size before any multiplication.
+  const std::uint64_t huge = std::uint64_t{1} << 61;
+  const std::string bad =
+      corrupt(src, 24, &huge, sizeof huge, "ebvs_wrapcount.ebvs");
+  EXPECT_THROW(MappedGraph{bad}, std::runtime_error);
+}
+
+TEST(Snapshot, RejectsOversizedVertexCount) {
+  const std::string src = write_sample("ebvs_neg_src.ebvs", false);
+  const std::uint64_t huge = std::uint64_t{1} << 33;  // > 32-bit id space
+  const std::string bad =
+      corrupt(src, 16, &huge, sizeof huge, "ebvs_badvcount.ebvs");
+  EXPECT_THROW(MappedGraph{bad}, std::runtime_error);
+}
+
+TEST(Snapshot, RejectsTruncatedFile) {
+  const std::string src = write_sample("ebvs_neg_src.ebvs", false);
+  std::ifstream in(src, std::ios::binary);
+  std::vector<char> data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{100}, std::size_t{4096},
+        data.size() / 2}) {
+    const std::string path = temp_path("ebvs_trunc.ebvs");
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    EXPECT_THROW(MappedGraph{path}, std::runtime_error)
+        << "accepted a file truncated to " << keep << " bytes";
+  }
+}
+
+TEST(Snapshot, ValidateCatchesOutOfRangeEndpoint) {
+  const std::string src = write_sample("ebvs_neg_src.ebvs", false);
+  // The edge section starts at the first page; clobber an endpoint with a
+  // vertex id far beyond num_vertices. The header stays consistent, so
+  // only validate() can notice.
+  const std::uint32_t evil = 0x7FFFFFFF;
+  const std::string bad =
+      corrupt(src, 4096, &evil, sizeof evil, "ebvs_badedge.ebvs");
+  const MappedGraph mapped(bad);
+  EXPECT_THROW(mapped.validate(), std::runtime_error);
+}
+
+TEST(Snapshot, ValidateCatchesUnsortedEdges) {
+  const std::string src = write_sample("ebvs_neg_src.ebvs", false);
+  const MappedGraph good(src);
+  ASSERT_GE(good.num_edges(), 2u);
+  // Swap the first two edges (they differ — degrees stay intact, order
+  // breaks). Self-test: find two adjacent distinct edges first.
+  std::size_t pos = 0;
+  while (pos + 1 < good.num_edges() &&
+         good.edges()[pos] == good.edges()[pos + 1]) {
+    ++pos;
+  }
+  ASSERT_LT(pos + 1, good.num_edges());
+  const Edge swapped[2] = {good.edges()[pos + 1], good.edges()[pos]};
+  const std::string bad = corrupt(src, 4096 + pos * sizeof(Edge), swapped,
+                                  sizeof swapped, "ebvs_unsorted.ebvs");
+  const MappedGraph mapped(bad);
+  EXPECT_THROW(mapped.validate(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ebv

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 
 #include "graph/generators.h"
@@ -62,6 +63,39 @@ TEST(PartitionIo, BinaryRejectsOutOfRangePartIds) {
   std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
   io::write_partition_binary(ss, bad);
   EXPECT_THROW(io::read_partition_binary(ss), std::runtime_error);
+}
+
+TEST(PartitionIo, BinaryRejectsWrongVersion) {
+  const EdgePartition p{2, {0, 1, 0}};
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_partition_binary(full, p);
+  std::string bytes = full.str();
+  const std::uint32_t version = 77;  // version field sits after the magic
+  bytes.replace(4, sizeof version,
+                reinterpret_cast<const char*>(&version), sizeof version);
+  std::stringstream cut(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW(io::read_partition_binary(cut), std::runtime_error);
+}
+
+TEST(PartitionIo, BinaryRejectsOversizedEdgeCount) {
+  const EdgePartition p{2, {0, 1, 0}};
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_partition_binary(full, p);
+  std::string bytes = full.str();
+  // Header: magic(4) version(4) num_parts(4), then the u64 edge count. A
+  // count far beyond the stream must throw runtime_error, not OOM.
+  const std::uint64_t huge = std::uint64_t{1} << 40;
+  bytes.replace(12, sizeof huge, reinterpret_cast<const char*>(&huge),
+                sizeof huge);
+  std::stringstream cut(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW(io::read_partition_binary(cut), std::runtime_error);
+}
+
+TEST(PartitionIo, TextRejectsOversizedEdgeCount) {
+  // A hostile text header count must fail on the count mismatch, not
+  // attempt an |E|-sized allocation up front.
+  std::stringstream ss("# ebv partition p=2 edges=1099511627776\n0\n1\n");
+  EXPECT_THROW(io::read_partition(ss), std::runtime_error);
 }
 
 TEST(PartitionIo, BinaryRejectsTruncation) {

@@ -1,0 +1,184 @@
+// External-sort converter: output must be byte-identical for every
+// (memory budget, thread count) pair — including budgets far smaller than
+// the input, which force multi-run spills — and must agree with the
+// in-memory snapshot writer on the same edge list.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/mapped_graph.h"
+#include "graph/snapshot_convert.h"
+
+namespace ebv {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+/// ~20k edges of text input shared by the tests (written once).
+const std::string& sample_text() {
+  static const std::string path = [] {
+    const Graph g = gen::chung_lu(2000, 20000, 2.3, false, 11);
+    const std::string p = temp_path("convert_input.txt");
+    io::write_edge_list_file(p, g);
+    return p;
+  }();
+  return path;
+}
+
+TEST(SnapshotConvert, MatchesInMemoryWriter) {
+  const std::string converted = temp_path("convert_mem.ebvs");
+  const io::ConvertStats stats =
+      io::convert_edge_list_to_snapshot(sample_text(), converted);
+  EXPECT_EQ(stats.num_runs, 1u);  // default budget swallows 20k edges
+
+  // Reference: load the same text resident and write the snapshot directly.
+  Graph g = io::read_edge_list_file(sample_text());
+  g.set_name("convert_input");  // converter names snapshots after the stem
+  const std::string reference = temp_path("convert_ref.ebvs");
+  io::write_snapshot_file(reference, g);
+
+  EXPECT_EQ(file_bytes(converted), file_bytes(reference));
+}
+
+TEST(SnapshotConvert, TinyBudgetSpillsRunsAndIsByteIdentical) {
+  const std::string big = temp_path("convert_big.ebvs");
+  const io::ConvertStats one =
+      io::convert_edge_list_to_snapshot(sample_text(), big);
+  ASSERT_EQ(one.num_runs, 1u);
+
+  io::ConvertOptions tiny;
+  tiny.memory_budget_bytes = 16 << 10;  // 16 KiB ≈ 1365 records per run
+  const std::string small = temp_path("convert_small.ebvs");
+  const io::ConvertStats many =
+      io::convert_edge_list_to_snapshot(sample_text(), small, tiny);
+
+  // The input must genuinely exceed the sort-run budget...
+  EXPECT_GT(many.num_runs, 4u);
+  EXPECT_EQ(many.edges_read, one.edges_read);
+  // ...and the snapshot must not depend on how it was chunked.
+  EXPECT_EQ(file_bytes(small), file_bytes(big));
+}
+
+TEST(SnapshotConvert, ThreadCountDoesNotChangeTheBytes) {
+  io::ConvertOptions serial;
+  serial.memory_budget_bytes = 64 << 10;
+  const std::string a = temp_path("convert_t1.ebvs");
+  io::convert_edge_list_to_snapshot(sample_text(), a, serial);
+
+  io::ConvertOptions threaded = serial;
+  threaded.num_threads = 4;
+  const std::string b = temp_path("convert_t4.ebvs");
+  io::convert_edge_list_to_snapshot(sample_text(), b, threaded);
+
+  EXPECT_EQ(file_bytes(a), file_bytes(b));
+}
+
+TEST(SnapshotConvert, WeightsSurviveTheSort) {
+  const std::string input = temp_path("convert_weighted.txt");
+  {
+    std::ofstream out(input);
+    out << "3 1 0.25\n0 2 8\n3 1 0.5\n1 0 1.5\n";
+  }
+  const std::string path = temp_path("convert_weighted.ebvs");
+  const io::ConvertStats stats =
+      io::convert_edge_list_to_snapshot(input, path);
+  EXPECT_TRUE(stats.weighted);
+  const Graph g = io::read_snapshot_file(path);
+  ASSERT_EQ(g.num_edges(), 4u);
+  ASSERT_TRUE(g.has_weights());
+  // Canonical order: (0,2) (1,0) (3,1) (3,1); duplicate keys keep input
+  // order, so 0.25 precedes 0.5.
+  EXPECT_EQ(g.edge(0), (Edge{0, 2}));
+  EXPECT_FLOAT_EQ(g.weight(0), 8.0f);
+  EXPECT_EQ(g.edge(1), (Edge{1, 0}));
+  EXPECT_FLOAT_EQ(g.weight(1), 1.5f);
+  EXPECT_EQ(g.edge(2), (Edge{3, 1}));
+  EXPECT_FLOAT_EQ(g.weight(2), 0.25f);
+  EXPECT_EQ(g.edge(3), (Edge{3, 1}));
+  EXPECT_FLOAT_EQ(g.weight(3), 0.5f);
+}
+
+TEST(SnapshotConvert, SelfLoopAndDedupOptions) {
+  const std::string input = temp_path("convert_dedup.txt");
+  {
+    std::ofstream out(input);
+    out << "# comment\n1 1\n0 1\n0 1\n2 0\n";
+  }
+  const std::string path = temp_path("convert_dedup.ebvs");
+  io::ConvertOptions options;
+  options.deduplicate = true;
+  const io::ConvertStats stats =
+      io::convert_edge_list_to_snapshot(input, path, options);
+  EXPECT_EQ(stats.self_loops_dropped, 1u);
+  EXPECT_EQ(stats.duplicates_dropped, 1u);
+  EXPECT_EQ(stats.edges_written, 2u);
+  const Graph g = io::read_snapshot_file(path);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_vertices(), 3u);
+}
+
+TEST(SnapshotConvert, RejectsMalformedLinesAndHugeIds) {
+  const std::string bad_line = temp_path("convert_badline.txt");
+  {
+    std::ofstream out(bad_line);
+    out << "0 1\nnot an edge\n";
+  }
+  EXPECT_THROW(io::convert_edge_list_to_snapshot(
+                   bad_line, temp_path("convert_badline.ebvs")),
+               std::runtime_error);
+
+  const std::string huge_id = temp_path("convert_hugeid.txt");
+  {
+    std::ofstream out(huge_id);
+    out << "4294967296 1\n";  // 2^32: outside the 32-bit id space
+  }
+  EXPECT_THROW(io::convert_edge_list_to_snapshot(
+                   huge_id, temp_path("convert_hugeid.ebvs")),
+               std::runtime_error);
+}
+
+TEST(SnapshotConvert, FailedConvertLeavesNoPartialOutput) {
+  const std::string input = temp_path("convert_fail.txt");
+  {
+    std::ofstream out(input);
+    out << "0 1\n2 3\nbroken line\n";
+  }
+  const std::string output = temp_path("convert_fail.ebvs");
+  EXPECT_THROW(io::convert_edge_list_to_snapshot(input, output),
+               std::runtime_error);
+  // The placeholder-header file must not survive — it would clobber a
+  // previously valid snapshot at the same path.
+  std::ifstream check(output);
+  EXPECT_FALSE(check.good());
+}
+
+TEST(SnapshotConvert, EbvgInputConvertsResident) {
+  Graph g = gen::erdos_renyi(200, 900, 3);
+  g.set_name("from-ebvg");
+  const std::string ebvg = temp_path("convert_in.ebvg");
+  io::write_binary_file(ebvg, g);
+  const std::string path = temp_path("convert_from_ebvg.ebvs");
+  const io::ConvertStats stats =
+      io::convert_edge_list_to_snapshot(ebvg, path);
+  EXPECT_EQ(stats.edges_written, g.num_edges());
+  const MappedGraph mapped(path);
+  mapped.validate();
+  EXPECT_EQ(mapped.num_edges(), g.num_edges());
+  EXPECT_EQ(mapped.name(), "from-ebvg");
+}
+
+}  // namespace
+}  // namespace ebv

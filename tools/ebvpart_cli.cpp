@@ -1,15 +1,18 @@
 // ebvpart — command-line front end for the library.
 //
-//   ebvpart generate --family powerlaw --vertices 20000 --edges 200000
-//                    [--eta 2.4] [--seed 42] --out graph.ebvg
-//   ebvpart stats     --graph graph.ebvg
-//   ebvpart partition --graph graph.ebvg --algo ebv --parts 8
-//                     [--alpha 1.0] [--beta 1.0] [--order sorted|natural|
-//                      desc|random] --out parts.ebvp
+//   ebvpart generate  --family powerlaw --vertices 20000 --edges 200000
+//                     [--eta 2.4] [--seed 42] --out graph.ebvg
+//   ebvpart convert   --in edges.txt --out graph.ebvs [--budget-mb 256]
+//   ebvpart stats     --graph graph.ebvg | --mmap graph.ebvs
+//   ebvpart partition --graph graph.ebvg | --mmap graph.ebvs
+//                     --algo ebv --parts 8 [--alpha 1.0] [--beta 1.0]
+//                     [--order sorted|natural|desc|random] --out parts.ebvp
 //   ebvpart run       --graph graph.ebvg --partition parts.ebvp
 //                     --app cc|pr|sssp
 //
-// Graph files: .ebvg binary (ebvpart generate) or plain text edge lists.
+// Graph files: .ebvg binary (ebvpart generate), .ebvs mmap snapshots
+// (ebvpart convert; --graph loads them resident, --mmap maps them
+// zero-copy) or plain text edge lists. Full reference: docs/CLI.md.
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -23,6 +26,8 @@
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "graph/mapped_graph.h"
+#include "graph/snapshot_convert.h"
 #include "graph/stats.h"
 #include "partition/metrics.h"
 #include "partition/partition_io.h"
@@ -55,10 +60,16 @@ std::string get(const ArgMap& args, const std::string& key,
 }
 
 Graph load_graph(const std::string& path) {
-  if (path.size() > 5 && path.substr(path.size() - 5) == ".ebvg") {
-    return io::read_binary_file(path);
-  }
+  if (path.ends_with(".ebvg")) return io::read_binary_file(path);
+  if (path.ends_with(".ebvs")) return io::read_snapshot_file(path);
   return io::read_edge_list_file(path);
+}
+
+/// Open a validated mmap view for commands taking --mmap <snapshot>.
+MappedGraph open_mapped(const std::string& path) {
+  MappedGraph mapped(path);
+  mapped.validate();
+  return mapped;
 }
 
 int cmd_generate(const ArgMap& args) {
@@ -87,13 +98,82 @@ int cmd_generate(const ArgMap& args) {
     throw std::invalid_argument("unknown family: " + family);
   }
   const std::string out = get(args, "out");
-  io::write_binary_file(out, graph);
+  if (out.ends_with(".txt")) {
+    io::write_edge_list_file(out, graph);
+  } else if (out.ends_with(".ebvs")) {
+    io::write_snapshot_file(out, graph);
+  } else {
+    io::write_binary_file(out, graph);
+  }
   std::cout << "wrote " << out << ": |V|=" << with_commas(graph.num_vertices())
             << " |E|=" << with_commas(graph.num_edges()) << "\n";
   return 0;
 }
 
+int cmd_convert(const ArgMap& args) {
+  io::ConvertOptions options;
+  options.memory_budget_bytes =
+      std::stoull(get(args, "budget-mb", "256")) << 20;
+  options.num_threads =
+      static_cast<std::uint32_t>(std::stoul(get(args, "threads", "1")));
+  if (options.num_threads > 1) {
+    ThreadPool::set_global_threads(options.num_threads);
+  }
+  options.deduplicate = get(args, "dedup", "0") != "0";
+  options.remove_self_loops = get(args, "keep-self-loops", "0") == "0";
+  if (args.count("tmp") != 0) options.temp_dir = args.at("tmp");
+
+  const std::string in = get(args, "in");
+  const std::string out = get(args, "out");
+  const Timer timer;
+  const io::ConvertStats s =
+      io::convert_edge_list_to_snapshot(in, out, options);
+  const double elapsed = timer.seconds();
+
+  analysis::Table table({"metric", "value"});
+  table.add_row({"input", in});
+  table.add_row({"input MB",
+                 format_fixed(static_cast<double>(s.input_bytes) / 1e6, 1)});
+  table.add_row({"edges read", with_commas(s.edges_read)});
+  table.add_row({"edges written", with_commas(s.edges_written)});
+  table.add_row({"vertices", with_commas(s.num_vertices)});
+  table.add_row({"self-loops dropped", with_commas(s.self_loops_dropped)});
+  table.add_row({"duplicates dropped", with_commas(s.duplicates_dropped)});
+  table.add_row({"sort runs", std::to_string(s.num_runs)});
+  table.add_row({"weighted", s.weighted ? "yes" : "no"});
+  table.add_row({"convert time", format_duration(elapsed)});
+  table.add_row(
+      {"ingest MB/s",
+       format_fixed(static_cast<double>(s.input_bytes) / 1e6 /
+                        std::max(elapsed, 1e-9),
+                    1)});
+  table.print(std::cout);
+  std::cout << "wrote " << out << "\n";
+  return 0;
+}
+
 int cmd_stats(const ArgMap& args) {
+  if (args.count("mmap") != 0) {
+    if (args.count("deep") != 0) {
+      throw std::invalid_argument(
+          "--deep needs a resident graph; use --graph " + args.at("mmap"));
+    }
+    const MappedGraph mapped = open_mapped(args.at("mmap"));
+    const GraphStats s = compute_stats(mapped.view());
+    analysis::Table table({"metric", "value"});
+    table.add_row({"vertices", with_commas(s.num_vertices)});
+    table.add_row({"edges", with_commas(s.num_edges)});
+    table.add_row({"average degree", format_fixed(s.average_degree, 2)});
+    table.add_row({"max total degree", with_commas(s.max_total_degree)});
+    table.add_row({"isolated vertices", with_commas(s.isolated_vertices)});
+    table.add_row({"power-law eta", format_fixed(s.eta, 2)});
+    table.add_row({"mapped MB",
+                   format_fixed(static_cast<double>(mapped.mapped_bytes()) /
+                                    1e6,
+                                1)});
+    table.print(std::cout);
+    return 0;
+  }
   const Graph graph = load_graph(get(args, "graph"));
   const GraphStats s = compute_stats(graph);
   analysis::Table table({"metric", "value"});
@@ -120,7 +200,6 @@ int cmd_stats(const ArgMap& args) {
 }
 
 int cmd_partition(const ArgMap& args) {
-  const Graph graph = load_graph(get(args, "graph"));
   const std::string algo = get(args, "algo", "ebv");
   PartitionConfig config;
   config.num_parts =
@@ -150,14 +229,31 @@ int cmd_partition(const ArgMap& args) {
     throw std::invalid_argument("unknown order: " + order);
   }
 
-  const Timer timer;
-  const EdgePartition partition =
-      make_partitioner(algo)->partition(graph, config);
-  const double elapsed = timer.seconds();
-  const PartitionMetrics m = compute_metrics(graph, partition);
+  // --mmap <snapshot> streams the partitioner over the mapped sections
+  // (O(|V|) resident state for the streaming algorithms); --graph loads a
+  // resident Graph. Both produce bit-identical partitions for the same
+  // snapshot.
+  const bool use_mmap = args.count("mmap") != 0;
+  EdgePartition partition;
+  PartitionMetrics m;
+  double elapsed = 0.0;
+  if (use_mmap) {
+    const MappedGraph mapped = open_mapped(args.at("mmap"));
+    const Timer timer;
+    partition = make_partitioner(algo)->partition_view(mapped.view(), config);
+    elapsed = timer.seconds();
+    m = compute_metrics(mapped.view(), partition);
+  } else {
+    const Graph graph = load_graph(get(args, "graph"));
+    const Timer timer;
+    partition = make_partitioner(algo)->partition(graph, config);
+    elapsed = timer.seconds();
+    m = compute_metrics(graph, partition);
+  }
 
   analysis::Table table({"metric", "value"});
   table.add_row({"algorithm", algo});
+  table.add_row({"graph source", use_mmap ? "mmap snapshot" : "resident"});
   table.add_row({"parts", std::to_string(config.num_parts)});
   table.add_row({"threads", std::to_string(config.num_threads)});
   table.add_row({"partitioning time", format_duration(elapsed)});
@@ -227,17 +323,34 @@ int cmd_run(const ArgMap& args) {
   return 0;
 }
 
+void print_usage(std::ostream& out) {
+  // Keep in lockstep with docs/CLI.md (the CI docs check greps both).
+  out << "usage: ebvpart <generate|convert|stats|partition|run> [--flag value]...\n"
+         "\n"
+         "  generate  --family powerlaw|road|uniform|ba --out g.{ebvg,ebvs,txt}\n"
+         "            [--vertices N] [--edges M] [--eta H] [--seed S]\n"
+         "            [--side L (road)] [--attach K (ba)]\n"
+         "  convert   --in edges.txt|g.ebvg --out g.ebvs\n"
+         "            [--budget-mb MB] [--threads T] [--dedup 0|1]\n"
+         "            [--keep-self-loops 0|1] [--tmp DIR]\n"
+         "            external-merge-sort a text edge list into a page-\n"
+         "            aligned EBVS snapshot under a bounded memory budget\n"
+         "  stats     --graph g.{ebvg,ebvs,txt} [--deep 1]\n"
+         "            | --mmap g.ebvs   (zero-copy; --deep unsupported)\n"
+         "  partition --graph g.{ebvg,ebvs,txt} | --mmap g.ebvs\n"
+         "            [--algo ebv] [--parts 8] [--alpha A] [--beta B]\n"
+         "            [--order sorted|natural|desc|random] [--seed S]\n"
+         "            [--threads T] [--batch B] [--out p.ebvp]\n"
+         "  run       --graph g.{ebvg,ebvs,txt} --app cc|pr|sssp [--threads T]\n"
+         "            (--partition p.ebvp | [--algo ebv] [--parts 8])\n"
+         "\n"
+         "--mmap maps an EBVS snapshot read-only and streams the partitioner\n"
+         "over it (bit-identical to --graph on the same snapshot).\n"
+         "Formats: docs/FORMATS.md; full flag reference: docs/CLI.md.\n";
+}
+
 int usage() {
-  std::cerr
-      << "usage: ebvpart <generate|stats|partition|run> [--flag value]...\n"
-         "  generate  --family powerlaw|road|uniform|ba --out g.ebvg\n"
-         "            [--vertices N --edges M --eta H --seed S]\n"
-         "  stats     --graph g.ebvg [--deep 1]\n"
-         "  partition --graph g.ebvg --algo ebv --parts 8 [--out p.ebvp]\n"
-         "            [--alpha A --beta B --order sorted|natural|desc|random]\n"
-         "            [--threads T] [--batch B]\n"
-         "  run       --graph g.ebvg --app cc|pr|sssp [--threads T]\n"
-         "            (--partition p.ebvp | --algo ebv --parts 8)\n";
+  print_usage(std::cerr);
   return 2;
 }
 
@@ -246,9 +359,14 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    print_usage(std::cout);
+    return 0;
+  }
   try {
     const ArgMap args = parse_args(argc, argv, 2);
     if (command == "generate") return cmd_generate(args);
+    if (command == "convert") return cmd_convert(args);
     if (command == "stats") return cmd_stats(args);
     if (command == "partition") return cmd_partition(args);
     if (command == "run") return cmd_run(args);
