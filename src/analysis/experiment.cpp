@@ -90,7 +90,7 @@ std::string app_name(App app) {
   return {};
 }
 
-ExperimentResult run_with_partition(const Graph& graph,
+ExperimentResult run_with_partition(const GraphView& graph,
                                     const EdgePartition& partition,
                                     const std::string& label, App app,
                                     const bsp::RunOptions& options,
@@ -134,6 +134,28 @@ PartitionMetrics paper_metrics(const Graph& graph,
   }
   const auto partitioner = make_partitioner(partitioner_name);
   return compute_metrics(graph, partitioner->partition(graph, config));
+}
+
+ExperimentResult run_experiment(const GraphView& graph,
+                                const std::string& partitioner_name,
+                                PartitionId num_parts, App app,
+                                const bsp::RunOptions& options,
+                                std::uint32_t pagerank_iterations) {
+  const auto partitioner = make_partitioner(partitioner_name);
+  PartitionConfig config;
+  config.num_parts = num_parts;
+
+  const Timer timer;
+  // partition_view keeps an mmap-backed view zero-copy for the streaming
+  // algorithms; the rest inherit the materialising fallback, so every
+  // registered algorithm works here with identical results.
+  const EdgePartition partition = partitioner->partition_view(graph, config);
+  const double partition_seconds = timer.seconds();
+
+  ExperimentResult result = run_with_partition(
+      graph, partition, partitioner_name, app, options, pagerank_iterations);
+  result.partition_wall_seconds = partition_seconds;
+  return result;
 }
 
 ExperimentResult run_experiment(const Graph& graph,

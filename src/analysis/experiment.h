@@ -7,6 +7,7 @@
 
 #include "bsp/runtime.h"
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "partition/metrics.h"
 #include "partition/partitioner.h"
 
@@ -48,6 +49,24 @@ struct ExperimentResult {
 
 /// Partition `graph` with the named algorithm, build the distributed graph
 /// and execute the app on the simulated cluster. SSSP sources vertex 0.
+///
+/// Takes a GraphView, so the whole pipeline runs off an mmap-backed EBVS
+/// snapshot (MappedGraph::view()) without a resident copy: partitioning
+/// goes through Partitioner::partition_view (zero-copy for the streaming
+/// algorithms, materialising fallback otherwise) and DistributedGraph
+/// streams the view's edge section directly. A resident Graph converts
+/// implicitly and produces bit-identical results for the same edge
+/// sequence.
+ExperimentResult run_experiment(const GraphView& graph,
+                                const std::string& partitioner_name,
+                                PartitionId num_parts, App app,
+                                const bsp::RunOptions& options = {},
+                                std::uint32_t pagerank_iterations = 20);
+
+/// Resident overload: partitions through Partitioner::partition directly,
+/// so algorithms without a streaming partition_view override don't pay the
+/// view fallback's materialising copy of a graph that is already resident.
+/// Results are identical to the view overload.
 ExperimentResult run_experiment(const Graph& graph,
                                 const std::string& partitioner_name,
                                 PartitionId num_parts, App app,
@@ -62,8 +81,8 @@ PartitionMetrics paper_metrics(const Graph& graph,
                                PartitionId num_parts);
 
 /// As run_experiment but with an externally produced partition (used for
-/// the Blogel/Voronoi series).
-ExperimentResult run_with_partition(const Graph& graph,
+/// the Blogel/Voronoi series and `ebvpart run --partition`).
+ExperimentResult run_with_partition(const GraphView& graph,
                                     const EdgePartition& partition,
                                     const std::string& label, App app,
                                     const bsp::RunOptions& options = {},

@@ -1,94 +1,142 @@
 #include "bsp/distributed_graph.h"
 
-#include <algorithm>
+#include <bit>
 
 #include "common/assert.h"
+#include "partition/replica_masks.h"
 
 namespace ebv::bsp {
 
-DistributedGraph::DistributedGraph(const Graph& graph,
+DistributedGraph::DistributedGraph(const GraphView& graph,
                                    const EdgePartition& partition) {
   EBV_REQUIRE(partition.part_of_edge.size() == graph.num_edges(),
               "partition does not match graph");
   const PartitionId p = partition.num_parts;
   EBV_REQUIRE(p >= 1, "partition must have at least one part");
-  num_global_vertices_ = graph.num_vertices();
+  const VertexId n = graph.num_vertices();
+  num_global_vertices_ = n;
   num_global_edges_ = graph.num_edges();
 
   locals_.resize(p);
   for (PartitionId i = 0; i < p; ++i) locals_[i].part = i;
 
-  // Pass 1: per-vertex incident-edge counts per part -> replica lists and
-  // master selection (most incident edges, ties to lowest part id).
-  parts_of_vertex_.assign(graph.num_vertices(), {});
-  master_of_vertex_.assign(graph.num_vertices(), kInvalidPartition);
-  // edge_count_in_part[v] pairs (part, count) — vertices touch few parts,
-  // so a small vector per vertex is compact and cache-friendly.
-  std::vector<std::vector<std::pair<PartitionId, std::uint32_t>>> incident(
-      graph.num_vertices());
-  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+  // Pass 1 (edge stream): replica membership as vertex-major bitmasks.
+  // O(|V|·⌈p/64⌉) resident — nothing per edge survives the pass.
+  ReplicaMasks masks(n, p);
+  for (EdgeId e = 0; e < num_global_edges_; ++e) {
     const PartitionId part = partition.part_of_edge[e];
     EBV_REQUIRE(part < p, "edge assigned to invalid part");
-    for (const VertexId v : {graph.edge(e).src, graph.edge(e).dst}) {
-      auto& list = incident[v];
-      auto it = std::find_if(list.begin(), list.end(),
-                             [part](const auto& pr) { return pr.first == part; });
-      if (it == list.end()) {
-        list.emplace_back(part, 1);
-      } else {
-        ++it->second;
+    const Edge edge = graph.edge(e);
+    masks.set(edge.src, part);
+    masks.set(edge.dst, part);
+  }
+
+  // Flatten membership into the persistent CSR layout:
+  // replica_parts_[replica_offsets_[v] .. replica_offsets_[v+1]) are the
+  // parts holding v, ascending.
+  const std::uint32_t words = masks.words_per_vertex();
+  replica_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint64_t* row = masks.row(v);
+    std::uint64_t count = 0;
+    for (std::uint32_t w = 0; w < words; ++w) {
+      count += static_cast<std::uint64_t>(std::popcount(row[w]));
+    }
+    replica_offsets_[v + 1] = replica_offsets_[v] + count;
+  }
+  total_replicas_ = replica_offsets_[n];
+  replica_parts_.resize(total_replicas_);
+  for (VertexId v = 0; v < n; ++v) {
+    std::uint64_t slot = replica_offsets_[v];
+    const std::uint64_t* row = masks.row(v);
+    for (std::uint32_t w = 0; w < words; ++w) {
+      for (std::uint64_t bits = row[w]; bits != 0; bits &= bits - 1) {
+        replica_parts_[slot++] = static_cast<PartitionId>(
+            w * 64 + static_cast<std::uint32_t>(std::countr_zero(bits)));
       }
     }
   }
-  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    auto& list = incident[v];
-    if (list.empty()) continue;
-    std::sort(list.begin(), list.end());
-    PartitionId master = list.front().first;
+
+  // Pass 2 (edge stream): incident-edge counts per replica slot (flat
+  // array parallel to replica_parts_) for master selection, plus per-part
+  // edge totals for exact reservations. Each (vertex, edge) incidence
+  // counts ONCE — a self-loop touches its vertex as one incidence, not
+  // two, so self-loop-heavy parts get no artificial master bias.
+  std::vector<std::uint32_t> incident_count(total_replicas_, 0);
+  std::vector<std::uint64_t> edges_per_part(p, 0);
+  const auto slot_of = [&](VertexId v, PartitionId part) {
+    const std::uint64_t* row = masks.row(v);
+    const auto w = static_cast<std::uint32_t>(part >> 6);
+    std::uint64_t rank = 0;
+    for (std::uint32_t k = 0; k < w; ++k) {
+      rank += static_cast<std::uint64_t>(std::popcount(row[k]));
+    }
+    const std::uint64_t below = (std::uint64_t{1} << (part & 63)) - 1;
+    rank += static_cast<std::uint64_t>(std::popcount(row[w] & below));
+    return replica_offsets_[v] + rank;
+  };
+  for (EdgeId e = 0; e < num_global_edges_; ++e) {
+    const PartitionId part = partition.part_of_edge[e];
+    const Edge edge = graph.edge(e);
+    ++incident_count[slot_of(edge.src, part)];
+    if (edge.dst != edge.src) ++incident_count[slot_of(edge.dst, part)];
+    ++edges_per_part[part];
+  }
+
+  // Master selection: most incident edges, ties to the lowest part id
+  // (replica_parts_ is ascending per vertex, so the first strict maximum
+  // is the lowest-id winner).
+  master_of_vertex_.assign(n, kInvalidPartition);
+  for (VertexId v = 0; v < n; ++v) {
     std::uint32_t best = 0;
-    for (const auto& [part, count] : list) {
-      if (count > best) {
-        best = count;
-        master = part;
+    for (std::uint64_t s = replica_offsets_[v]; s < replica_offsets_[v + 1];
+         ++s) {
+      if (incident_count[s] > best) {
+        best = incident_count[s];
+        master_of_vertex_[v] = replica_parts_[s];
       }
     }
-    master_of_vertex_[v] = master;
-    parts_of_vertex_[v].reserve(list.size());
-    for (const auto& [part, count] : list) parts_of_vertex_[v].push_back(part);
-    total_replicas_ += list.size();
   }
+  incident_count = {};  // transient; release before building subgraphs
 
-  // Pass 2: local vertex id spaces (insertion order = ascending global id
-  // per part, giving deterministic local layouts).
-  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    for (const PartitionId part : parts_of_vertex_[v]) {
-      LocalSubgraph& ls = locals_[part];
-      ls.local_ids.emplace(v, static_cast<VertexId>(ls.global_ids.size()));
-      ls.global_ids.push_back(v);
+  // Local vertex id spaces: ascending global id per part, so every
+  // global_ids is sorted and LocalSubgraph::local_of() can binary-search.
+  std::vector<std::uint64_t> vertices_per_part(p, 0);
+  for (const PartitionId part : replica_parts_) ++vertices_per_part[part];
+  for (PartitionId i = 0; i < p; ++i) {
+    locals_[i].global_ids.reserve(vertices_per_part[i]);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    for (const PartitionId part : parts_of(v)) {
+      locals_[part].global_ids.push_back(v);
     }
   }
 
-  // Pass 3: local edges (+ weights) in global edge order.
-  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+  // Pass 3 (edge stream): local edges (+ weights) in global edge order.
+  for (PartitionId i = 0; i < p; ++i) {
+    locals_[i].edges.reserve(edges_per_part[i]);
+    if (graph.has_weights()) locals_[i].edge_weights.reserve(edges_per_part[i]);
+  }
+  for (EdgeId e = 0; e < num_global_edges_; ++e) {
     LocalSubgraph& ls = locals_[partition.part_of_edge[e]];
     const Edge edge = graph.edge(e);
-    ls.edges.push_back({ls.local_ids.at(edge.src), ls.local_ids.at(edge.dst)});
+    ls.edges.push_back({ls.local_of(edge.src), ls.local_of(edge.dst)});
     if (graph.has_weights()) ls.edge_weights.push_back(graph.weight(e));
   }
 
-  // Pass 4: per-worker adjacency and replica flags.
+  // Per-worker adjacency and replica flags.
   for (LocalSubgraph& ls : locals_) {
-    const VertexId n = ls.num_vertices();
-    ls.out_csr = CsrGraph::build(n, ls.edges, CsrGraph::Direction::kOut);
-    ls.in_csr = CsrGraph::build(n, ls.edges, CsrGraph::Direction::kIn);
-    ls.both_csr = CsrGraph::build(n, ls.edges, CsrGraph::Direction::kBoth);
-    ls.is_replicated.resize(n);
-    ls.is_master.resize(n);
-    ls.master_part.resize(n);
-    ls.global_out_degree.resize(n);
-    for (VertexId lv = 0; lv < n; ++lv) {
+    const VertexId ln = ls.num_vertices();
+    ls.out_csr = CsrGraph::build(ln, ls.edges, CsrGraph::Direction::kOut);
+    ls.in_csr = CsrGraph::build(ln, ls.edges, CsrGraph::Direction::kIn);
+    ls.both_csr = CsrGraph::build(ln, ls.edges, CsrGraph::Direction::kBoth);
+    ls.is_replicated.resize(ln);
+    ls.is_master.resize(ln);
+    ls.master_part.resize(ln);
+    ls.global_out_degree.resize(ln);
+    for (VertexId lv = 0; lv < ln; ++lv) {
       const VertexId gv = ls.global_ids[lv];
-      ls.is_replicated[lv] = parts_of_vertex_[gv].size() > 1 ? 1 : 0;
+      ls.is_replicated[lv] = parts_of(gv).size() > 1 ? 1 : 0;
       ls.is_master[lv] = master_of_vertex_[gv] == ls.part ? 1 : 0;
       ls.master_part[lv] = master_of_vertex_[gv];
       ls.global_out_degree[lv] = graph.out_degree(gv);

@@ -1,20 +1,27 @@
 // DistributedGraph: the per-worker view of a vertex-cut partitioned graph.
 //
-// Construction takes a Graph plus an EdgePartition and produces, for every
-// worker, a local subgraph over dense *local* vertex ids, together with the
-// replica routing tables the BSP runtime needs:
+// Construction takes a GraphView plus an EdgePartition and produces, for
+// every worker, a local subgraph over dense *local* vertex ids, together
+// with the replica routing tables the BSP runtime needs:
 //   - a vertex covered by edges in several parts is *replicated*;
 //   - one replica is designated the master (the part holding the most
 //     incident edges, ties to the lowest part id) — masters combine values
 //     from mirrors and broadcast the result back (PowerGraph-style sync,
 //     which is how DRONE-like subgraph-centric frameworks communicate).
+//
+// Taking a GraphView (a resident Graph converts implicitly) makes this the
+// out-of-core half of `ebvpart run --mmap`: the edge section of an
+// mmap-backed EBVS snapshot is streamed — three sequential passes — and
+// the transient construction state is O(|V|·⌈p/64⌉ + Σ|Vi|) resident
+// (replica bitmasks + flat CSR-style incident counts), never O(|E|) heap.
 #pragma once
 
-#include <unordered_map>
+#include <algorithm>
+#include <span>
 #include <vector>
 
 #include "graph/csr.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "partition/partitioner.h"
 
 namespace ebv::bsp {
@@ -24,8 +31,7 @@ namespace ebv::bsp {
 struct LocalSubgraph {
   PartitionId part = 0;
 
-  std::vector<VertexId> global_ids;                   // local -> global
-  std::unordered_map<VertexId, VertexId> local_ids;   // global -> local
+  std::vector<VertexId> global_ids;  // local -> global, ascending
 
   std::vector<Edge> edges;          // endpoints are local ids
   std::vector<float> edge_weights;  // empty when the graph is unweighted
@@ -47,16 +53,22 @@ struct LocalSubgraph {
     return edge_weights.empty() ? 1.0f : edge_weights[e];
   }
   /// Local id of a global vertex, or kInvalidVertex if absent here.
+  /// Binary search over the ascending `global_ids` (local ids are assigned
+  /// in ascending global order), so no global→local hash map is stored.
   [[nodiscard]] VertexId local_of(VertexId global) const {
-    const auto it = local_ids.find(global);
-    return it == local_ids.end() ? kInvalidVertex : it->second;
+    const auto it =
+        std::lower_bound(global_ids.begin(), global_ids.end(), global);
+    if (it == global_ids.end() || *it != global) return kInvalidVertex;
+    return static_cast<VertexId>(it - global_ids.begin());
   }
 };
 
 class DistributedGraph {
  public:
-  /// Builds all worker-local structures. O(|E| + Σ|Vi|).
-  DistributedGraph(const Graph& graph, const EdgePartition& partition);
+  /// Builds all worker-local structures. O(|E| + Σ|Vi|) time; the edge
+  /// span is read in three sequential streaming passes and is never
+  /// copied, so an mmap-backed view needs no resident edge storage.
+  DistributedGraph(const GraphView& graph, const EdgePartition& partition);
 
   [[nodiscard]] PartitionId num_workers() const {
     return static_cast<PartitionId>(locals_.size());
@@ -71,12 +83,20 @@ class DistributedGraph {
   }
 
   /// Parts holding vertex v (ascending). Size 1 for non-replicated
-  /// vertices; empty for vertices covered by no edge.
-  [[nodiscard]] const std::vector<PartitionId>& parts_of(VertexId global) const {
-    return parts_of_vertex_[global];
+  /// vertices; empty for vertices covered by no edge. Throws
+  /// std::invalid_argument for an out-of-range global id.
+  [[nodiscard]] std::span<const PartitionId> parts_of(VertexId global) const {
+    EBV_REQUIRE(global < num_global_vertices_,
+                "parts_of: global vertex id out of range");
+    return {replica_parts_.data() + replica_offsets_[global],
+            static_cast<std::size_t>(replica_offsets_[global + 1] -
+                                     replica_offsets_[global])};
   }
   /// Master part of v, or kInvalidPartition for uncovered vertices.
+  /// Throws std::invalid_argument for an out-of-range global id.
   [[nodiscard]] PartitionId master_of(VertexId global) const {
+    EBV_REQUIRE(global < num_global_vertices_,
+                "master_of: global vertex id out of range");
     return master_of_vertex_[global];
   }
 
@@ -90,7 +110,10 @@ class DistributedGraph {
   EdgeId num_global_edges_ = 0;
   std::uint64_t total_replicas_ = 0;
   std::vector<LocalSubgraph> locals_;
-  std::vector<std::vector<PartitionId>> parts_of_vertex_;
+  // parts_of(v) = replica_parts_[replica_offsets_[v] .. replica_offsets_[v+1])
+  // — a flat CSR layout instead of |V| small vectors.
+  std::vector<std::uint64_t> replica_offsets_;
+  std::vector<PartitionId> replica_parts_;
   std::vector<PartitionId> master_of_vertex_;
 };
 

@@ -152,7 +152,8 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
       const LocalSubgraph& ls = graph.local(m);
       // Fold received messages into the master's accumulator.
       for (const WireMessage& msg : to_master[m]) {
-        const VertexId lv = ls.local_ids.at(msg.global);
+        const VertexId lv = ls.local_of(msg.global);
+        EBV_ASSERT(lv != kInvalidVertex);
         EBV_ASSERT(ls.is_master[lv] != 0);
         if (has_acc[m][lv] != 0) {
           acc[m][lv] = program.combine(acc[m][lv], msg.value);
@@ -196,7 +197,8 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
     for (PartitionId i = 0; i < p; ++i) {
       const LocalSubgraph& ls = graph.local(i);
       for (const WireMessage& msg : to_mirror[i]) {
-        const VertexId lv = ls.local_ids.at(msg.global);
+        const VertexId lv = ls.local_of(msg.global);
+        EBV_ASSERT(lv != kInvalidVertex);
         last_sync[i][lv] = msg.value;
         if (values[i][lv] != msg.value) {
           values[i][lv] = msg.value;
@@ -242,7 +244,9 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
     if (m == kInvalidPartition) {
       stats.values[gv] = program.init_value(gv);
     } else {
-      stats.values[gv] = values[m][graph.local(m).local_ids.at(gv)];
+      const VertexId lv = graph.local(m).local_of(gv);
+      EBV_ASSERT(lv != kInvalidVertex);
+      stats.values[gv] = values[m][lv];
     }
   }
   stats.wall_seconds = wall.seconds();

@@ -146,5 +146,93 @@ TEST(DistributedGraph, RejectsMismatchedPartition) {
   EXPECT_THROW(DistributedGraph(g, bad), std::invalid_argument);
 }
 
+// Regression: a self-loop is ONE incidence of its vertex, not two. With
+// the old double count, part 0's single self-loop would tie part 1's two
+// real edges (2 vs 2) and steal the master via the lowest-id tie-break.
+TEST(DistributedGraph, SelfLoopCountsOneIncidence) {
+  const Graph g(3, {{0, 0}, {0, 1}, {0, 2}});
+  const EdgePartition part{2, {0, 1, 1}};
+  const DistributedGraph dist(g, part);
+  // Correct counts for vertex 0: part 0 holds 1 incident edge (the
+  // self-loop), part 1 holds 2 — the master must be part 1.
+  EXPECT_EQ(dist.master_of(0), 1u);
+  // Membership itself is unaffected: vertex 0 is replicated on both parts.
+  const auto parts = dist.parts_of(0);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], 0u);
+  EXPECT_EQ(parts[1], 1u);
+  // And Σ|Vi| still matches the metrics module on the same partition.
+  EXPECT_EQ(dist.total_replicas(), compute_metrics(g, part).total_replicas);
+}
+
+TEST(DistributedGraph, OutOfRangeVertexIdThrows) {
+  const Graph g(4, {{0, 1}, {2, 3}});
+  const EdgePartition part{2, {0, 1}};
+  const DistributedGraph dist(g, part);
+  EXPECT_THROW((void)dist.parts_of(4), std::invalid_argument);
+  EXPECT_THROW((void)dist.master_of(4), std::invalid_argument);
+  EXPECT_THROW((void)dist.parts_of(kInvalidVertex), std::invalid_argument);
+  EXPECT_THROW((void)dist.master_of(kInvalidVertex), std::invalid_argument);
+}
+
+TEST(DistributedGraph, IsolatedVerticesStayUncovered) {
+  // Vertices 5..9 have no incident edge anywhere.
+  const Graph g(10, {{0, 1}, {1, 2}, {3, 4}});
+  const auto part = round_robin(g, 3);
+  const DistributedGraph dist(g, part);
+  const auto m = compute_metrics(g, part);
+  EXPECT_EQ(dist.total_replicas(), m.total_replicas);
+  for (VertexId v = 5; v < 10; ++v) {
+    EXPECT_TRUE(dist.parts_of(v).empty());
+    EXPECT_EQ(dist.master_of(v), kInvalidPartition);
+    for (PartitionId i = 0; i < 3; ++i) {
+      EXPECT_EQ(dist.local(i).local_of(v), kInvalidVertex);
+    }
+  }
+}
+
+TEST(DistributedGraph, SinglePartHoldsEverythingUnreplicated) {
+  const Graph g = gen::chung_lu(400, 3000, 2.3, false, 9);
+  const auto part = round_robin(g, 1);
+  const DistributedGraph dist(g, part);
+  const auto m = compute_metrics(g, part);
+  EXPECT_EQ(dist.num_workers(), 1u);
+  EXPECT_EQ(dist.total_replicas(), m.total_replicas);
+  EXPECT_EQ(dist.local(0).num_edges(), g.num_edges());
+  const auto& ls = dist.local(0);
+  for (VertexId lv = 0; lv < ls.num_vertices(); ++lv) {
+    EXPECT_EQ(ls.is_replicated[lv], 0);
+    EXPECT_EQ(ls.is_master[lv], 1);
+    EXPECT_EQ(ls.master_part[lv], 0u);
+  }
+}
+
+TEST(DistributedGraph, FullyReplicatedGraphMatchesMetrics) {
+  // Even cycle with alternating edge parts: every vertex touches one edge
+  // in part 0 and one in part 1, so every covered vertex is replicated
+  // everywhere and Σ|Vi| = 2|V|.
+  const VertexId n = 16;
+  std::vector<Edge> edges;
+  std::vector<PartitionId> assignment;
+  for (VertexId v = 0; v < n; ++v) {
+    edges.push_back({v, static_cast<VertexId>((v + 1) % n)});
+    assignment.push_back(v % 2);
+  }
+  const Graph g(n, edges);
+  const EdgePartition part{2, assignment};
+  const DistributedGraph dist(g, part);
+  const auto m = compute_metrics(g, part);
+  EXPECT_EQ(dist.total_replicas(), m.total_replicas);
+  EXPECT_EQ(dist.total_replicas(), 2u * n);
+  for (VertexId v = 0; v < n; ++v) {
+    EXPECT_EQ(dist.parts_of(v).size(), 2u);
+    for (PartitionId i = 0; i < 2; ++i) {
+      const VertexId lv = dist.local(i).local_of(v);
+      ASSERT_NE(lv, kInvalidVertex);
+      EXPECT_EQ(dist.local(i).is_replicated[lv], 1);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ebv

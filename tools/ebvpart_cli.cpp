@@ -7,19 +7,20 @@
 //   ebvpart partition --graph graph.ebvg | --mmap graph.ebvs
 //                     --algo ebv --parts 8 [--alpha 1.0] [--beta 1.0]
 //                     [--order sorted|natural|desc|random] --out parts.ebvp
-//   ebvpart run       --graph graph.ebvg --partition parts.ebvp
-//                     --app cc|pr|sssp
+//   ebvpart run       --graph graph.ebvg | --mmap graph.ebvs
+//                     [--partition parts.ebvp] --app cc|pr|sssp
 //
 // Graph files: .ebvg binary (ebvpart generate), .ebvs mmap snapshots
 // (ebvpart convert; --graph loads them resident, --mmap maps them
 // zero-copy) or plain text edge lists. Full reference: docs/CLI.md.
-#include <cstring>
 #include <iostream>
-#include <map>
+#include <limits>
+#include <optional>
 #include <string>
 
 #include "analysis/experiment.h"
 #include "analysis/table.h"
+#include "common/cli_args.h"
 #include "common/format.h"
 #include "common/parallel.h"
 #include "common/timer.h"
@@ -36,28 +37,16 @@
 namespace {
 
 using namespace ebv;
+using cli::ArgMap;
+using cli::get;
+using cli::get_double;
+using cli::get_uint;
 
-using ArgMap = std::map<std::string, std::string>;
-
-ArgMap parse_args(int argc, char** argv, int first) {
-  ArgMap args;
-  for (int i = first; i + 1 < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) != 0) {
-      throw std::invalid_argument(std::string("expected --flag, got ") +
-                                  argv[i]);
-    }
-    args[argv[i] + 2] = argv[i + 1];
-  }
-  return args;
-}
-
-std::string get(const ArgMap& args, const std::string& key,
-                const std::string& fallback = "") {
-  const auto it = args.find(key);
-  if (it != args.end()) return it->second;
-  if (!fallback.empty()) return fallback;
-  throw std::invalid_argument("missing required --" + key);
-}
+constexpr std::uint64_t kU32Max = std::numeric_limits<std::uint32_t>::max();
+// Id-typed flags must also exclude the u32 sentinels (kInvalidVertex,
+// kInvalidPartition) so a maximal value can't alias "invalid".
+constexpr std::uint64_t kVertexMax = kInvalidVertex - 1;
+constexpr std::uint64_t kPartsMax = kInvalidPartition - 1;
 
 Graph load_graph(const std::string& path) {
   if (path.ends_with(".ebvg")) return io::read_binary_file(path);
@@ -74,25 +63,25 @@ MappedGraph open_mapped(const std::string& path) {
 
 int cmd_generate(const ArgMap& args) {
   const std::string family = get(args, "family", "powerlaw");
-  const auto seed = std::stoull(get(args, "seed", "42"));
+  const auto seed = get_uint(args, "seed", "42");
   Graph graph;
   if (family == "powerlaw") {
     graph = gen::chung_lu(
-        static_cast<VertexId>(std::stoul(get(args, "vertices"))),
-        std::stoull(get(args, "edges")),
-        std::stod(get(args, "eta", "2.4")), false, seed);
+        static_cast<VertexId>(get_uint(args, "vertices", "", kVertexMax)),
+        get_uint(args, "edges", ""), get_double(args, "eta", "2.4"), false,
+        seed);
   } else if (family == "road") {
     const auto side =
-        static_cast<std::uint32_t>(std::stoul(get(args, "side", "200")));
+        static_cast<std::uint32_t>(get_uint(args, "side", "200", kU32Max));
     graph = gen::road_grid(side, side, 0.92, seed);
   } else if (family == "uniform") {
     graph = gen::erdos_renyi(
-        static_cast<VertexId>(std::stoul(get(args, "vertices"))),
-        std::stoull(get(args, "edges")), seed);
+        static_cast<VertexId>(get_uint(args, "vertices", "", kVertexMax)),
+        get_uint(args, "edges", ""), seed);
   } else if (family == "ba") {
     graph = gen::barabasi_albert(
-        static_cast<VertexId>(std::stoul(get(args, "vertices"))),
-        static_cast<std::uint32_t>(std::stoul(get(args, "attach", "4"))),
+        static_cast<VertexId>(get_uint(args, "vertices", "", kVertexMax)),
+        static_cast<std::uint32_t>(get_uint(args, "attach", "4", kU32Max)),
         seed);
   } else {
     throw std::invalid_argument("unknown family: " + family);
@@ -113,9 +102,11 @@ int cmd_generate(const ArgMap& args) {
 int cmd_convert(const ArgMap& args) {
   io::ConvertOptions options;
   options.memory_budget_bytes =
-      std::stoull(get(args, "budget-mb", "256")) << 20;
+      get_uint(args, "budget-mb", "256",
+               std::numeric_limits<std::uint64_t>::max() >> 20)
+      << 20;
   options.num_threads =
-      static_cast<std::uint32_t>(std::stoul(get(args, "threads", "1")));
+      static_cast<std::uint32_t>(get_uint(args, "threads", "1", kU32Max));
   if (options.num_threads > 1) {
     ThreadPool::set_global_threads(options.num_threads);
   }
@@ -203,14 +194,14 @@ int cmd_partition(const ArgMap& args) {
   const std::string algo = get(args, "algo", "ebv");
   PartitionConfig config;
   config.num_parts =
-      static_cast<PartitionId>(std::stoul(get(args, "parts", "8")));
-  config.alpha = std::stod(get(args, "alpha", "1.0"));
-  config.beta = std::stod(get(args, "beta", "1.0"));
-  config.seed = std::stoull(get(args, "seed", "42"));
+      static_cast<PartitionId>(get_uint(args, "parts", "8", kPartsMax));
+  config.alpha = get_double(args, "alpha", "1.0");
+  config.beta = get_double(args, "beta", "1.0");
+  config.seed = get_uint(args, "seed", "42");
   config.num_threads =
-      static_cast<std::uint32_t>(std::stoul(get(args, "threads", "1")));
+      static_cast<std::uint32_t>(get_uint(args, "threads", "1", kU32Max));
   config.batch_size =
-      static_cast<std::uint32_t>(std::stoul(get(args, "batch", "256")));
+      static_cast<std::uint32_t>(get_uint(args, "batch", "256", kU32Max));
   // Size the shared pool to the requested team so the ranks run on
   // resident workers instead of per-call temporary threads.
   if (config.num_threads > 1) {
@@ -270,7 +261,6 @@ int cmd_partition(const ArgMap& args) {
 }
 
 int cmd_run(const ArgMap& args) {
-  const Graph graph = load_graph(get(args, "graph"));
   const std::string app_name = get(args, "app", "cc");
   analysis::App app = analysis::App::kCC;
   if (app_name == "pr") {
@@ -287,24 +277,43 @@ int cmd_run(const ArgMap& args) {
   // sequential policy for every T.
   bsp::RunOptions options;
   const auto threads =
-      static_cast<std::uint32_t>(std::stoul(get(args, "threads", "1")));
+      static_cast<std::uint32_t>(get_uint(args, "threads", "1", kU32Max));
   if (threads > 1) {
     ThreadPool::set_global_threads(threads);
     options.policy = bsp::ExecutionPolicy::kParallel;
     options.num_threads = threads;
   }
 
+  // --mmap feeds the whole pipeline (partition → DistributedGraph → BSP)
+  // from the mapped snapshot sections: no resident Graph is ever built,
+  // and results are bit-identical to --graph on the same snapshot.
+  const bool use_mmap = args.count("mmap") != 0;
+  std::optional<MappedGraph> mapped;
+  Graph resident;
+  if (use_mmap) {
+    mapped.emplace(open_mapped(args.at("mmap")));
+  } else {
+    resident = load_graph(get(args, "graph"));
+  }
+  const GraphView view = use_mmap ? mapped->view() : GraphView(resident);
+
   analysis::ExperimentResult result;
   if (args.count("partition") != 0) {
     const EdgePartition partition =
         io::read_partition_binary_file(args.at("partition"));
     result =
-        analysis::run_with_partition(graph, partition, "file", app, options);
+        analysis::run_with_partition(view, partition, "file", app, options);
   } else {
-    result = analysis::run_experiment(
-        graph, get(args, "algo", "ebv"),
-        static_cast<PartitionId>(std::stoul(get(args, "parts", "8"))), app,
-        options);
+    const auto algo = get(args, "algo", "ebv");
+    const auto parts =
+        static_cast<PartitionId>(get_uint(args, "parts", "8", kPartsMax));
+    // The resident overload partitions without the view fallback's
+    // materialising copy; results are identical either way.
+    result = use_mmap
+                 ? analysis::run_experiment(mapped->view(), algo, parts, app,
+                                            options)
+                 : analysis::run_experiment(resident, algo, parts, app,
+                                            options);
   }
 
   analysis::Table table({"metric", "value"});
@@ -341,11 +350,14 @@ void print_usage(std::ostream& out) {
          "            [--algo ebv] [--parts 8] [--alpha A] [--beta B]\n"
          "            [--order sorted|natural|desc|random] [--seed S]\n"
          "            [--threads T] [--batch B] [--out p.ebvp]\n"
-         "  run       --graph g.{ebvg,ebvs,txt} --app cc|pr|sssp [--threads T]\n"
+         "  run       --graph g.{ebvg,ebvs,txt} | --mmap g.ebvs\n"
+         "            --app cc|pr|sssp [--threads T]\n"
          "            (--partition p.ebvp | [--algo ebv] [--parts 8])\n"
          "\n"
-         "--mmap maps an EBVS snapshot read-only and streams the partitioner\n"
-         "over it (bit-identical to --graph on the same snapshot).\n"
+         "--mmap maps an EBVS snapshot read-only and streams partitioning —\n"
+         "and, for run, distributed-graph construction and the BSP\n"
+         "supersteps — over it without a resident copy (bit-identical to\n"
+         "--graph on the same snapshot).\n"
          "Formats: docs/FORMATS.md; full flag reference: docs/CLI.md.\n";
 }
 
@@ -364,7 +376,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
-    const ArgMap args = parse_args(argc, argv, 2);
+    const ArgMap args = cli::parse_args(argc, argv, 2);
     if (command == "generate") return cmd_generate(args);
     if (command == "convert") return cmd_convert(args);
     if (command == "stats") return cmd_stats(args);
