@@ -1,6 +1,8 @@
 #include "analysis/experiment.h"
 
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 
 #include "apps/cc.h"
 #include "apps/pagerank.h"
@@ -8,6 +10,7 @@
 #include "bsp/distributed_graph.h"
 #include "common/assert.h"
 #include "common/timer.h"
+#include "common/unique_id.h"
 #include "graph/generators.h"
 #include "partition/metis_like.h"
 #include "partition/registry.h"
@@ -90,6 +93,39 @@ std::string app_name(App app) {
   return {};
 }
 
+namespace {
+
+/// Removes the worker-spill snapshot when the run ends (success or not).
+struct SpillFileGuard {
+  std::string path;
+  ~SpillFileGuard() {
+    if (!path.empty()) std::remove(path.c_str());
+  }
+};
+
+bsp::RunStats run_app(const bsp::BspRuntime& runtime,
+                      const bsp::DistributedGraph& dist, const GraphView& graph,
+                      App app, std::uint32_t pagerank_iterations) {
+  switch (app) {
+    case App::kCC: {
+      const apps::ConnectedComponents cc;
+      return runtime.run(dist, cc);
+    }
+    case App::kPageRank: {
+      const apps::PageRank pr(graph.num_vertices(), pagerank_iterations);
+      return runtime.run(dist, pr);
+    }
+    case App::kSssp: {
+      const apps::Sssp sssp(/*source=*/0);
+      return runtime.run(dist, sssp);
+    }
+  }
+  EBV_ASSERT(false);
+  return {};
+}
+
+}  // namespace
+
 ExperimentResult run_with_partition(const GraphView& graph,
                                     const EdgePartition& partition,
                                     const std::string& label, App app,
@@ -100,25 +136,39 @@ ExperimentResult run_with_partition(const GraphView& graph,
   result.num_parts = partition.num_parts;
   result.metrics = compute_metrics(graph, partition);
 
-  const bsp::DistributedGraph dist(graph, partition);
-  const bsp::BspRuntime runtime(options);
-  switch (app) {
-    case App::kCC: {
-      const apps::ConnectedComponents cc;
-      result.run = runtime.run(dist, cc);
-      break;
-    }
-    case App::kPageRank: {
-      const apps::PageRank pr(graph.num_vertices(), pagerank_iterations);
-      result.run = runtime.run(dist, pr);
-      break;
-    }
-    case App::kSssp: {
-      const apps::Sssp sssp(/*source=*/0);
-      result.run = runtime.run(dist, sssp);
-      break;
-    }
+  // A binding residency budget routes the run through the worker-spill
+  // subsystem: the DistributedGraph streams each worker's subgraph into
+  // an EBVW snapshot during construction and the runtime materialises at
+  // most `resident_workers` of them at a time. Results are bit-identical
+  // to the all-resident path. A budget of 0 or >= p cannot bound
+  // anything (the runtime would immediately materialise every worker),
+  // so it stays on the plain resident path and pays no spill I/O;
+  // spill_dir alone only picks WHERE spill state goes, it does not
+  // enable spilling.
+  const bool spill = options.resident_workers > 0 &&
+                     options.resident_workers < partition.num_parts;
+  if (!spill) {
+    const bsp::DistributedGraph dist(graph, partition);
+    const bsp::BspRuntime runtime(options);
+    result.run = run_app(runtime, dist, graph, app, pagerank_iterations);
+    return result;
   }
+
+  namespace fs = std::filesystem;
+  bsp::RunOptions run_options = options;
+  const fs::path dir = options.spill_dir.empty()
+                           ? fs::temp_directory_path()
+                           : fs::path(options.spill_dir);
+  std::error_code ec;
+  fs::create_directories(dir, ec);  // best-effort; open errors report below
+  run_options.spill_dir = dir.string();
+  SpillFileGuard guard{
+      (dir / ("ebv-workers." + process_unique_suffix() + ".ebvw")).string()};
+
+  const bsp::DistributedGraph dist(graph, partition,
+                                   {.spill_path = guard.path});
+  const bsp::BspRuntime runtime(run_options);
+  result.run = run_app(runtime, dist, graph, app, pagerank_iterations);
   return result;
 }
 

@@ -57,6 +57,14 @@ struct ExperimentResult {
 /// streams the view's edge section directly. A resident Graph converts
 /// implicitly and produces bit-identical results for the same edge
 /// sequence.
+///
+/// A binding options.resident_workers budget (0 < k < num_parts)
+/// additionally routes execution through the worker-spill subsystem: the
+/// per-worker subgraphs are streamed into a temporary EBVW snapshot
+/// (options.spill_dir, defaulting to the system temp directory; removed
+/// after the run) and at most k of them are materialised at a time —
+/// same results, bounded subgraph residency. A budget of 0 or >= p stays
+/// on the plain resident path (nothing to bound, so no spill I/O).
 ExperimentResult run_experiment(const GraphView& graph,
                                 const std::string& partitioner_name,
                                 PartitionId num_parts, App app,

@@ -6,19 +6,49 @@
 #include "partition/replica_masks.h"
 
 namespace ebv::bsp {
+namespace {
+
+/// Per-vertex metadata shared by resident and spilled construction.
+void fill_vertex_metadata(LocalSubgraph& ls, const GraphView& graph,
+                          const DistributedGraph& dist) {
+  const VertexId ln = ls.num_vertices();
+  ls.is_replicated.resize(ln);
+  ls.is_master.resize(ln);
+  ls.master_part.resize(ln);
+  ls.global_out_degree.resize(ln);
+  for (VertexId lv = 0; lv < ln; ++lv) {
+    const VertexId gv = ls.global_ids[lv];
+    ls.is_replicated[lv] = dist.parts_of(gv).size() > 1 ? 1 : 0;
+    ls.is_master[lv] = dist.master_of(gv) == ls.part ? 1 : 0;
+    ls.master_part[lv] = dist.master_of(gv);
+    ls.global_out_degree[lv] = graph.out_degree(gv);
+  }
+}
+
+}  // namespace
 
 DistributedGraph::DistributedGraph(const GraphView& graph,
                                    const EdgePartition& partition) {
+  build(graph, partition, DistributeOptions{});
+}
+
+DistributedGraph::DistributedGraph(const GraphView& graph,
+                                   const EdgePartition& partition,
+                                   const DistributeOptions& options) {
+  build(graph, partition, options);
+}
+
+void DistributedGraph::build(const GraphView& graph,
+                             const EdgePartition& partition,
+                             const DistributeOptions& options) {
   EBV_REQUIRE(partition.part_of_edge.size() == graph.num_edges(),
               "partition does not match graph");
   const PartitionId p = partition.num_parts;
   EBV_REQUIRE(p >= 1, "partition must have at least one part");
   const VertexId n = graph.num_vertices();
+  num_workers_ = p;
   num_global_vertices_ = n;
   num_global_edges_ = graph.num_edges();
-
-  locals_.resize(p);
-  for (PartitionId i = 0; i < p; ++i) locals_[i].part = i;
 
   // Pass 1 (edge stream): replica membership as vertex-major bitmasks.
   // O(|V|·⌈p/64⌉) resident — nothing per edge survives the pass.
@@ -103,45 +133,70 @@ DistributedGraph::DistributedGraph(const GraphView& graph,
   // global_ids is sorted and LocalSubgraph::local_of() can binary-search.
   std::vector<std::uint64_t> vertices_per_part(p, 0);
   for (const PartitionId part : replica_parts_) ++vertices_per_part[part];
-  for (PartitionId i = 0; i < p; ++i) {
-    locals_[i].global_ids.reserve(vertices_per_part[i]);
-  }
-  for (VertexId v = 0; v < n; ++v) {
-    for (const PartitionId part : parts_of(v)) {
-      locals_[part].global_ids.push_back(v);
+
+  if (options.spill_path.empty()) {
+    // --- Resident mode: one streaming pass fills all p subgraphs. -------
+    locals_.resize(p);
+    for (PartitionId i = 0; i < p; ++i) {
+      locals_[i].part = i;
+      locals_[i].global_ids.reserve(vertices_per_part[i]);
     }
+    for (VertexId v = 0; v < n; ++v) {
+      for (const PartitionId part : parts_of(v)) {
+        locals_[part].global_ids.push_back(v);
+      }
+    }
+
+    // Pass 3 (edge stream): local edges (+ weights) in global edge order.
+    for (PartitionId i = 0; i < p; ++i) {
+      locals_[i].edges.reserve(edges_per_part[i]);
+      if (graph.has_weights()) {
+        locals_[i].edge_weights.reserve(edges_per_part[i]);
+      }
+    }
+    for (EdgeId e = 0; e < num_global_edges_; ++e) {
+      LocalSubgraph& ls = locals_[partition.part_of_edge[e]];
+      const Edge edge = graph.edge(e);
+      ls.edges.push_back({ls.local_of(edge.src), ls.local_of(edge.dst)});
+      if (graph.has_weights()) ls.edge_weights.push_back(graph.weight(e));
+    }
+
+    // Per-worker adjacency and replica flags.
+    for (LocalSubgraph& ls : locals_) {
+      build_local_csrs(ls);
+      fill_vertex_metadata(ls, graph, *this);
+    }
+    return;
   }
 
-  // Pass 3 (edge stream): local edges (+ weights) in global edge order.
+  // --- Spilled mode: build workers one at a time, streaming each into
+  // its EBVW sections so the p-worker aggregate is never heap-resident.
+  // One filtering pass over the edge span per worker (p passes total,
+  // each sequential) replaces the single interleaved pass above; the
+  // emitted per-worker edge order — ascending global edge id — is
+  // identical, so a loaded worker is bit-identical to its resident twin.
+  SpillStoreWriter writer(options.spill_path, p, n, num_global_edges_,
+                          graph.has_weights());
   for (PartitionId i = 0; i < p; ++i) {
-    locals_[i].edges.reserve(edges_per_part[i]);
-    if (graph.has_weights()) locals_[i].edge_weights.reserve(edges_per_part[i]);
-  }
-  for (EdgeId e = 0; e < num_global_edges_; ++e) {
-    LocalSubgraph& ls = locals_[partition.part_of_edge[e]];
-    const Edge edge = graph.edge(e);
-    ls.edges.push_back({ls.local_of(edge.src), ls.local_of(edge.dst)});
-    if (graph.has_weights()) ls.edge_weights.push_back(graph.weight(e));
-  }
-
-  // Per-worker adjacency and replica flags.
-  for (LocalSubgraph& ls : locals_) {
-    const VertexId ln = ls.num_vertices();
-    ls.out_csr = CsrGraph::build(ln, ls.edges, CsrGraph::Direction::kOut);
-    ls.in_csr = CsrGraph::build(ln, ls.edges, CsrGraph::Direction::kIn);
-    ls.both_csr = CsrGraph::build(ln, ls.edges, CsrGraph::Direction::kBoth);
-    ls.is_replicated.resize(ln);
-    ls.is_master.resize(ln);
-    ls.master_part.resize(ln);
-    ls.global_out_degree.resize(ln);
-    for (VertexId lv = 0; lv < ln; ++lv) {
-      const VertexId gv = ls.global_ids[lv];
-      ls.is_replicated[lv] = parts_of(gv).size() > 1 ? 1 : 0;
-      ls.is_master[lv] = master_of_vertex_[gv] == ls.part ? 1 : 0;
-      ls.master_part[lv] = master_of_vertex_[gv];
-      ls.global_out_degree[lv] = graph.out_degree(gv);
+    LocalSubgraph ls;
+    ls.part = i;
+    ls.global_ids.reserve(vertices_per_part[i]);
+    for (VertexId v = 0; v < n; ++v) {
+      if (masks.test(v, i) != 0) ls.global_ids.push_back(v);
     }
+    ls.edges.reserve(edges_per_part[i]);
+    if (graph.has_weights()) ls.edge_weights.reserve(edges_per_part[i]);
+    for (EdgeId e = 0; e < num_global_edges_; ++e) {
+      if (partition.part_of_edge[e] != i) continue;
+      const Edge edge = graph.edge(e);
+      ls.edges.push_back({ls.local_of(edge.src), ls.local_of(edge.dst)});
+      if (graph.has_weights()) ls.edge_weights.push_back(graph.weight(e));
+    }
+    fill_vertex_metadata(ls, graph, *this);
+    writer.write_worker(ls);  // CSRs are rebuilt at load time
   }
+  writer.finish();
+  store_.emplace(options.spill_path);
 }
 
 }  // namespace ebv::bsp

@@ -11,75 +11,89 @@
 //
 // Taking a GraphView (a resident Graph converts implicitly) makes this the
 // out-of-core half of `ebvpart run --mmap`: the edge section of an
-// mmap-backed EBVS snapshot is streamed — three sequential passes — and
-// the transient construction state is O(|V|·⌈p/64⌉ + Σ|Vi|) resident
-// (replica bitmasks + flat CSR-style incident counts), never O(|E|) heap.
+// mmap-backed EBVS snapshot is streamed and the transient construction
+// state is O(|V|·⌈p/64⌉ + Σ|Vi|) resident (replica bitmasks + flat
+// CSR-style incident counts), never O(|E|) heap.
+//
+// Two residency modes:
+//   - resident (default): all p LocalSubgraphs are held in memory, so the
+//     aggregate is O(|E|);
+//   - spilled (DistributeOptions::spill_path): each worker's subgraph is
+//     built ONE AT A TIME and streamed into an EBVW worker-spill snapshot
+//     (bsp/spill_store.h); only the O(|V|)-ish routing tables stay
+//     resident, and the runtime materialises workers on demand under its
+//     RunOptions::resident_workers budget. Results are bit-identical in
+//     both modes.
 #pragma once
 
-#include <algorithm>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
-#include "graph/csr.h"
+#include "bsp/local_subgraph.h"
+#include "bsp/spill_store.h"
+#include "common/assert.h"
 #include "graph/graph_view.h"
 #include "partition/partitioner.h"
 
 namespace ebv::bsp {
 
-/// Worker-local subgraph. Edge endpoints are local ids; `global_ids`
-/// translates back.
-struct LocalSubgraph {
-  PartitionId part = 0;
-
-  std::vector<VertexId> global_ids;  // local -> global, ascending
-
-  std::vector<Edge> edges;          // endpoints are local ids
-  std::vector<float> edge_weights;  // empty when the graph is unweighted
-
-  CsrGraph out_csr;   // local out-adjacency
-  CsrGraph in_csr;    // local in-adjacency
-  CsrGraph both_csr;  // symmetrised (for CC-style propagation)
-
-  std::vector<std::uint8_t> is_replicated;  // per local vertex
-  std::vector<std::uint8_t> is_master;      // per local vertex
-  std::vector<PartitionId> master_part;     // per local vertex
-  std::vector<std::uint32_t> global_out_degree;  // per local vertex
-
-  [[nodiscard]] VertexId num_vertices() const {
-    return static_cast<VertexId>(global_ids.size());
-  }
-  [[nodiscard]] EdgeId num_edges() const { return edges.size(); }
-  [[nodiscard]] float weight(EdgeId e) const {
-    return edge_weights.empty() ? 1.0f : edge_weights[e];
-  }
-  /// Local id of a global vertex, or kInvalidVertex if absent here.
-  /// Binary search over the ascending `global_ids` (local ids are assigned
-  /// in ascending global order), so no global→local hash map is stored.
-  [[nodiscard]] VertexId local_of(VertexId global) const {
-    const auto it =
-        std::lower_bound(global_ids.begin(), global_ids.end(), global);
-    if (it == global_ids.end() || *it != global) return kInvalidVertex;
-    return static_cast<VertexId>(it - global_ids.begin());
-  }
+/// Construction-time options.
+struct DistributeOptions {
+  /// When non-empty, write every worker's subgraph to an EBVW snapshot at
+  /// this path during construction instead of keeping it resident. The
+  /// file must outlive the DistributedGraph; it is NOT removed on
+  /// destruction (callers own the lifecycle — see
+  /// analysis::run_with_partition for the self-cleaning driver).
+  std::string spill_path;
 };
 
 class DistributedGraph {
  public:
-  /// Builds all worker-local structures. O(|E| + Σ|Vi|) time; the edge
-  /// span is read in three sequential streaming passes and is never
-  /// copied, so an mmap-backed view needs no resident edge storage.
+  /// Builds all worker-local structures resident. O(|E| + Σ|Vi|) time;
+  /// the edge span is read in three sequential streaming passes and is
+  /// never copied, so an mmap-backed view needs no resident edge storage.
   DistributedGraph(const GraphView& graph, const EdgePartition& partition);
 
-  [[nodiscard]] PartitionId num_workers() const {
-    return static_cast<PartitionId>(locals_.size());
-  }
+  /// As above; `options.spill_path` selects spilled construction, which
+  /// adds p filtering passes over the edge span (one per worker, each
+  /// sequential) in exchange for never holding more than one worker's
+  /// subgraph in memory.
+  DistributedGraph(const GraphView& graph, const EdgePartition& partition,
+                   const DistributeOptions& options);
+
+  [[nodiscard]] PartitionId num_workers() const { return num_workers_; }
   [[nodiscard]] VertexId num_global_vertices() const {
     return num_global_vertices_;
   }
   [[nodiscard]] EdgeId num_global_edges() const { return num_global_edges_; }
 
+  /// Whether subgraphs live in the spill store instead of memory.
+  [[nodiscard]] bool spilled() const { return store_.has_value(); }
+  /// Path of the spill snapshot. Throws std::invalid_argument in
+  /// resident mode.
+  [[nodiscard]] const std::string& spill_path() const {
+    EBV_REQUIRE(spilled(), "spill_path(): subgraphs are resident");
+    return store_->path();
+  }
+
+  /// Resident mode only — spilled graphs have no long-lived subgraph to
+  /// reference; use load_worker(). Throws std::invalid_argument when
+  /// spilled.
   [[nodiscard]] const LocalSubgraph& local(PartitionId i) const {
+    EBV_REQUIRE(!spilled(),
+                "local(): subgraphs are spilled to disk; use load_worker()");
     return locals_[i];
+  }
+
+  /// Spilled mode only: materialise worker i from the spill store.
+  /// `build_csr = false` skips the local adjacency CSRs (enough for
+  /// message routing). Throws std::invalid_argument in resident mode.
+  [[nodiscard]] LocalSubgraph load_worker(PartitionId i,
+                                          bool build_csr = true) const {
+    EBV_REQUIRE(spilled(), "load_worker(): subgraphs are resident; use local()");
+    return store_->load_worker(i, build_csr);
   }
 
   /// Parts holding vertex v (ascending). Size 1 for non-replicated
@@ -106,10 +120,15 @@ class DistributedGraph {
   }
 
  private:
+  void build(const GraphView& graph, const EdgePartition& partition,
+             const DistributeOptions& options);
+
+  PartitionId num_workers_ = 0;
   VertexId num_global_vertices_ = 0;
   EdgeId num_global_edges_ = 0;
   std::uint64_t total_replicas_ = 0;
-  std::vector<LocalSubgraph> locals_;
+  std::vector<LocalSubgraph> locals_;  // empty in spilled mode
+  std::optional<SpillStore> store_;    // engaged in spilled mode
   // parts_of(v) = replica_parts_[replica_offsets_[v] .. replica_offsets_[v+1])
   // — a flat CSR layout instead of |V| small vectors.
   std::vector<std::uint64_t> replica_offsets_;

@@ -1,11 +1,17 @@
 #include "bsp/runtime.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <limits>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
 
 #include "common/assert.h"
 #include "common/parallel.h"
 #include "common/timer.h"
+#include "common/unique_id.h"
 
 namespace ebv::bsp {
 namespace {
@@ -14,6 +20,93 @@ namespace {
 struct WireMessage {
   VertexId global = kInvalidVertex;
   Value value = 0.0;
+};
+
+/// A destination worker's inbox for one direction (to-master or
+/// to-mirror). Messages accumulate in append order; under a bounded
+/// residency budget the destination may not be materialised until a
+/// later sweep, so an inbox that outgrows its in-memory cap flushes to
+/// an append-only spill file (oldest prefix on disk, newest suffix in
+/// memory — drain() replays file first, preserving append order
+/// exactly). With no spill path configured it is a plain vector, the
+/// pre-existing behaviour.
+class Mailbox {
+ public:
+  /// `path` empty disables file overflow; `cap` is the in-memory bound.
+  void configure(std::string path, std::uint64_t cap) {
+    path_ = std::move(path);
+    cap_ = std::max<std::uint64_t>(cap, 1);
+  }
+
+  void push(const WireMessage& msg) {
+    buf_.push_back(msg);
+    if (!path_.empty() && buf_.size() >= cap_) flush();
+  }
+
+  /// Direct access to the in-memory tail (message combining rewrites
+  /// pending values in place; combining mailboxes never flush, so the
+  /// recorded indices stay valid for the whole superstep).
+  [[nodiscard]] std::vector<WireMessage>& buffer() { return buf_; }
+
+  template <typename Fn>
+  void drain(Fn&& fn) {
+    if (spilled_ > 0) {
+      out_.flush();
+      if (!out_) fail_io("flush");
+      out_.close();
+      std::ifstream in(path_, std::ios::binary);
+      if (!in) fail_io("reopen");
+      std::vector<WireMessage> chunk;
+      std::uint64_t remaining = spilled_;
+      while (remaining > 0) {
+        chunk.resize(static_cast<std::size_t>(
+            std::min<std::uint64_t>(remaining, 1u << 14)));
+        in.read(reinterpret_cast<char*>(chunk.data()),
+                static_cast<std::streamsize>(chunk.size() *
+                                             sizeof(WireMessage)));
+        if (!in) fail_io("read");
+        for (const WireMessage& msg : chunk) fn(msg);
+        remaining -= chunk.size();
+      }
+      in.close();
+      std::remove(path_.c_str());
+      spilled_ = 0;
+    }
+    for (const WireMessage& msg : buf_) fn(msg);
+    buf_.clear();
+  }
+
+  ~Mailbox() {
+    if (spilled_ > 0) {
+      out_.close();
+      std::remove(path_.c_str());
+    }
+  }
+
+ private:
+  void flush() {
+    if (!out_.is_open()) {
+      out_.open(path_, std::ios::binary | std::ios::trunc);
+      if (!out_) fail_io("open");
+    }
+    out_.write(reinterpret_cast<const char*>(buf_.data()),
+               static_cast<std::streamsize>(buf_.size() *
+                                            sizeof(WireMessage)));
+    if (!out_) fail_io("append");
+    spilled_ += buf_.size();
+    buf_.clear();
+  }
+
+  [[noreturn]] void fail_io(const char* what) const {
+    throw std::runtime_error(std::string("mailbox spill: ") + what +
+                             " failed: " + path_);
+  }
+
+  std::vector<WireMessage> buf_;
+  std::string path_;
+  std::uint64_t cap_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t spilled_ = 0;
+  std::ofstream out_;
 };
 
 }  // namespace
@@ -25,7 +118,52 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
   EBV_REQUIRE(p >= 1, "need at least one worker");
   const ClusterCostModel& cost = options_.cost_model;
 
-  // --- Per-worker state -------------------------------------------------
+  // --- Residency plan ---------------------------------------------------
+  // k workers materialised at a time; k == p (the default) is the
+  // all-resident schedule. For a spilled graph the cache below holds the
+  // materialised workers; for a resident graph it stays empty and sub()
+  // reads graph.local() directly, so the bounded schedule is runnable —
+  // and bit-identical — on both representations.
+  PartitionId k = options_.resident_workers;
+  if (k == 0 || k > p) k = p;
+  const bool spilled = graph.spilled();
+  const bool bounded = k < p;
+  std::vector<std::unique_ptr<LocalSubgraph>> cache;
+  if (spilled) cache.resize(p);
+
+  auto sub = [&](PartitionId i) -> const LocalSubgraph& {
+    return spilled ? *cache[i] : graph.local(i);
+  };
+  auto ensure_loaded = [&](PartitionId first, PartitionId last,
+                           bool with_csr) {
+    if (!spilled) return;
+    for (PartitionId i = first; i < last; ++i) {
+      if (cache[i] == nullptr) {
+        // An unbounded budget loads every worker once, CSRs included,
+        // and keeps it; a bounded one materialises per sweep.
+        cache[i] = std::make_unique<LocalSubgraph>(
+            graph.load_worker(i, with_csr || !bounded));
+      }
+    }
+  };
+  auto release = [&](PartitionId first, PartitionId last) {
+    if (!spilled || !bounded) return;
+    for (PartitionId i = first; i < last; ++i) cache[i].reset();
+  };
+  /// Run `body(first, last)` over the residency groups in ascending
+  /// worker order — the global iteration order of every stage is
+  /// therefore identical to the all-resident single loop.
+  auto for_each_group = [&](bool with_csr, auto&& body) {
+    for (PartitionId g = 0; g < p; g += k) {
+      const PartitionId last = std::min<PartitionId>(g + k, p);
+      ensure_loaded(g, last, with_csr);
+      body(g, last);
+      release(g, last);
+    }
+  };
+
+  // --- Per-worker state (resident regardless of the budget: O(Σ|Vi|),
+  // the same order as the routing tables) ------------------------------
   std::vector<std::vector<Value>> values(p);
   std::vector<std::vector<Value>> acc(p);
   std::vector<std::vector<std::uint8_t>> has_acc(p);
@@ -36,21 +174,43 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
   // diverges from it — comparing against the *current* value would miss
   // improvements the master made in-place during local compute.
   std::vector<std::vector<Value>> last_sync(p);
-  for (PartitionId i = 0; i < p; ++i) {
-    const LocalSubgraph& ls = graph.local(i);
-    values[i].resize(ls.num_vertices());
-    for (VertexId lv = 0; lv < ls.num_vertices(); ++lv) {
-      values[i][lv] = program.init_value(ls.global_ids[lv]);
+  for_each_group(false, [&](PartitionId first, PartitionId last) {
+    for (PartitionId i = first; i < last; ++i) {
+      const LocalSubgraph& ls = sub(i);
+      values[i].resize(ls.num_vertices());
+      for (VertexId lv = 0; lv < ls.num_vertices(); ++lv) {
+        values[i][lv] = program.init_value(ls.global_ids[lv]);
+      }
+      acc[i].assign(ls.num_vertices(), Value{});
+      has_acc[i].assign(ls.num_vertices(), 0);
+      last_sync[i] = values[i];
     }
-    acc[i].assign(ls.num_vertices(), Value{});
-    has_acc[i].assign(ls.num_vertices(), 0);
-    last_sync[i] = values[i];
-  }
+  });
 
   // Mailboxes: to_master[j] / to_mirror[j] hold messages addressed to
   // worker j, accumulated in ascending sender order (deterministic).
-  std::vector<std::vector<WireMessage>> to_master(p);
-  std::vector<std::vector<WireMessage>> to_mirror(p);
+  // File overflow engages only under a bounded budget with a spill
+  // directory; combining keeps the to-master boxes in memory (their
+  // pending messages must stay rewritable, and combining itself bounds
+  // them at one entry per replicated vertex).
+  std::vector<Mailbox> to_master(p);
+  std::vector<Mailbox> to_mirror(p);
+  if (bounded && !options_.spill_dir.empty()) {
+    const std::string prefix =
+        options_.spill_dir + "/ebv-mbox." + process_unique_suffix() + ".";
+    for (PartitionId j = 0; j < p; ++j) {
+      if (!options_.combine_messages) {
+        to_master[j].configure(prefix + "ma" + std::to_string(j) + ".tmp",
+                               options_.mailbox_buffer_messages);
+      }
+      to_mirror[j].configure(prefix + "mi" + std::to_string(j) + ".tmp",
+                             options_.mailbox_buffer_messages);
+    }
+  }
+  // Combining state: pending[j] maps a global vertex to its message's
+  // index in to_master[j]'s buffer for the current superstep.
+  std::vector<std::unordered_map<VertexId, std::size_t>> pending(
+      options_.combine_messages ? p : 0);
 
   // Program-defined per-worker scratch, persistent across supersteps.
   std::vector<std::any> worker_state(p);
@@ -64,48 +224,6 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
     std::vector<std::uint64_t> msgs_local(p, 0);
     std::vector<std::uint64_t> msgs_remote(p, 0);
 
-    // --- Stage 1: computation ------------------------------------------
-    // Workers only touch their own state, so the parallel policy runs
-    // them on independent threads; results are identical either way.
-    auto run_worker = [&](PartitionId i) {
-      WorkerContext ctx(graph.local(i), values[i], acc[i], has_acc[i],
-                        emitted[i], program);
-      ctx.updated_ = &updated[i];
-      ctx.state_ = &worker_state[i];
-      program.compute(ctx, step);
-      step_stats[i].work_units = ctx.work_units();
-      step_stats[i].comp_seconds = cost.comp_seconds(ctx.work_units());
-      updated[i].clear();
-    };
-    if (options_.policy == ExecutionPolicy::kParallel && p > 1) {
-      // Workers touch disjoint state, so the superstep fans out over the
-      // shared pool (the seed spawned p fresh threads every superstep);
-      // results are identical to the sequential policy. A non-zero
-      // options_.num_threads bounds the fan-out exactly (strided worker
-      // assignment keeps every rank's share deterministic, though results
-      // do not depend on the mapping).
-      if (options_.num_threads > 0) {
-        const unsigned team = static_cast<unsigned>(
-            std::min<std::uint64_t>(options_.num_threads, p));
-        if (team <= 1) {
-          for (PartitionId i = 0; i < p; ++i) run_worker(i);
-        } else {
-          ThreadPool::global().run_team(team, [&](unsigned rank, unsigned t) {
-            for (PartitionId i = rank; i < p; i += t) run_worker(i);
-          });
-        }
-      } else {
-        parallel_for(
-            p, [&](std::size_t i) { run_worker(static_cast<PartitionId>(i)); },
-            1);
-      }
-    } else {
-      for (PartitionId i = 0; i < p; ++i) run_worker(i);
-    }
-
-    // --- Stage 2: communication -----------------------------------------
-    // 2a. route emissions: non-replicated vertices resolve locally;
-    //     mirrors send their accumulator to the master part.
     auto send = [&](PartitionId from, PartitionId to) {
       ++stats.messages_sent_per_worker[from];
       ++step_stats[from].messages_sent;
@@ -119,96 +237,164 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
     };
 
     bool any_change = false;
-    for (PartitionId i = 0; i < p; ++i) {
-      const LocalSubgraph& ls = graph.local(i);
-      for (const VertexId lv : emitted[i]) {
-        if (ls.is_replicated[lv] == 0) {
-          // Single-copy vertex: resolve in place.
-          Value merged = acc[i][lv];
+
+    // --- Sweep 1: computation + mirror routing (stage 2a) --------------
+    for_each_group(true, [&](PartitionId first, PartitionId last) {
+      // Workers only touch their own state, so the parallel policy runs
+      // the group on independent threads; results are identical either
+      // way. A non-zero options_.num_threads bounds the fan-out exactly
+      // (strided assignment keeps every rank's share deterministic,
+      // though results do not depend on the mapping).
+      auto run_worker = [&](PartitionId i) {
+        WorkerContext ctx(sub(i), values[i], acc[i], has_acc[i], emitted[i],
+                          program);
+        ctx.updated_ = &updated[i];
+        ctx.state_ = &worker_state[i];
+        program.compute(ctx, step);
+        step_stats[i].work_units = ctx.work_units();
+        step_stats[i].comp_seconds = cost.comp_seconds(ctx.work_units());
+        updated[i].clear();
+      };
+      const PartitionId group = last - first;
+      if (options_.policy == ExecutionPolicy::kParallel && group > 1) {
+        if (options_.num_threads > 0) {
+          const unsigned team = static_cast<unsigned>(
+              std::min<std::uint64_t>(options_.num_threads, group));
+          if (team <= 1) {
+            for (PartitionId i = first; i < last; ++i) run_worker(i);
+          } else {
+            ThreadPool::global().run_team(
+                team, [&](unsigned rank, unsigned t) {
+                  for (PartitionId i = first + rank; i < last; i += t) {
+                    run_worker(i);
+                  }
+                });
+          }
+        } else {
+          parallel_for(
+              group,
+              [&](std::size_t j) {
+                run_worker(first + static_cast<PartitionId>(j));
+              },
+              1);
+        }
+      } else {
+        for (PartitionId i = first; i < last; ++i) run_worker(i);
+      }
+
+      // Stage 2a — route emissions: non-replicated vertices resolve
+      // locally; mirrors send their accumulator to the master part.
+      for (PartitionId i = first; i < last; ++i) {
+        const LocalSubgraph& ls = sub(i);
+        for (const VertexId lv : emitted[i]) {
+          if (ls.is_replicated[lv] == 0) {
+            // Single-copy vertex: resolve in place.
+            Value merged = acc[i][lv];
+            if (program.combine_with_current()) {
+              merged = program.combine(merged, values[i][lv]);
+            }
+            const Value next = program.apply(ls.global_ids[lv], merged);
+            if (next != values[i][lv]) {
+              values[i][lv] = next;
+              updated[i].push_back(lv);
+              any_change = true;
+            }
+            has_acc[i][lv] = 0;
+          } else if (ls.is_master[lv] == 0) {
+            // Mirror: ship the accumulator to the master part — unless a
+            // message for the same vertex is already pending there and
+            // combining is on, in which case merge into it.
+            const PartitionId m = ls.master_part[lv];
+            const VertexId gv = ls.global_ids[lv];
+            ++stats.raw_messages;
+            bool enqueue = true;
+            if (options_.combine_messages) {
+              const auto [it, inserted] =
+                  pending[m].try_emplace(gv, to_master[m].buffer().size());
+              if (!inserted) {
+                WireMessage& msg = to_master[m].buffer()[it->second];
+                msg.value = program.combine(msg.value, acc[i][lv]);
+                enqueue = false;
+              }
+            }
+            if (enqueue) {
+              to_master[m].push({gv, acc[i][lv]});
+              send(i, m);
+            }
+            has_acc[i][lv] = 0;
+          }
+          // Master replicas keep has_acc set; consumed in sweep 2.
+        }
+      }
+    });
+
+    // --- Sweep 2: masters merge local + received accumulators, apply,
+    // and broadcast changed values to every mirror part (stage 2b) ------
+    for_each_group(false, [&](PartitionId first, PartitionId last) {
+      for (PartitionId m = first; m < last; ++m) {
+        const LocalSubgraph& ls = sub(m);
+        // Fold received messages into the master's accumulator.
+        to_master[m].drain([&](const WireMessage& msg) {
+          const VertexId lv = ls.local_of(msg.global);
+          EBV_ASSERT(lv != kInvalidVertex);
+          EBV_ASSERT(ls.is_master[lv] != 0);
+          if (has_acc[m][lv] != 0) {
+            acc[m][lv] = program.combine(acc[m][lv], msg.value);
+          } else {
+            acc[m][lv] = msg.value;
+            has_acc[m][lv] = 1;
+            emitted[m].push_back(lv);
+          }
+        });
+        if (options_.combine_messages) pending[m].clear();
+
+        for (const VertexId lv : emitted[m]) {
+          if (has_acc[m][lv] == 0) continue;  // already resolved in 2a
+          if (ls.is_replicated[lv] != 0 && ls.is_master[lv] == 0) continue;
+          if (ls.is_replicated[lv] == 0) continue;  // resolved in 2a
+          Value merged = acc[m][lv];
           if (program.combine_with_current()) {
-            merged = program.combine(merged, values[i][lv]);
+            merged = program.combine(merged, values[m][lv]);
           }
           const Value next = program.apply(ls.global_ids[lv], merged);
-          if (next != values[i][lv]) {
-            values[i][lv] = next;
+          has_acc[m][lv] = 0;
+          if (next != values[m][lv]) {
+            values[m][lv] = next;
+            updated[m].push_back(lv);
+            any_change = true;
+          }
+          if (next == last_sync[m][lv]) continue;  // mirrors are up to date
+          last_sync[m][lv] = next;
+          any_change = true;
+          const VertexId gv = ls.global_ids[lv];
+          for (const PartitionId peer : graph.parts_of(gv)) {
+            if (peer == m) continue;
+            ++stats.raw_messages;
+            to_mirror[peer].push({gv, next});
+            send(m, peer);
+          }
+        }
+        emitted[m].clear();
+      }
+    });
+
+    // --- Sweep 3: mirrors install broadcast values (stage 2c) ----------
+    for_each_group(false, [&](PartitionId first, PartitionId last) {
+      for (PartitionId i = first; i < last; ++i) {
+        const LocalSubgraph& ls = sub(i);
+        to_mirror[i].drain([&](const WireMessage& msg) {
+          const VertexId lv = ls.local_of(msg.global);
+          EBV_ASSERT(lv != kInvalidVertex);
+          last_sync[i][lv] = msg.value;
+          if (values[i][lv] != msg.value) {
+            values[i][lv] = msg.value;
             updated[i].push_back(lv);
             any_change = true;
           }
-          has_acc[i][lv] = 0;
-        } else if (ls.is_master[lv] == 0) {
-          // Mirror: ship the accumulator to the master part.
-          const PartitionId m = ls.master_part[lv];
-          to_master[m].push_back({ls.global_ids[lv], acc[i][lv]});
-          send(i, m);
-          has_acc[i][lv] = 0;
-        }
-        // Master replicas keep has_acc set; consumed in 2b.
+        });
+        emitted[i].clear();  // all consumed (mirrors cleared acc in 2a)
       }
-    }
-
-    // 2b. masters merge local + received accumulators, apply, and
-    //     broadcast changed values to every mirror part.
-    for (PartitionId m = 0; m < p; ++m) {
-      const LocalSubgraph& ls = graph.local(m);
-      // Fold received messages into the master's accumulator.
-      for (const WireMessage& msg : to_master[m]) {
-        const VertexId lv = ls.local_of(msg.global);
-        EBV_ASSERT(lv != kInvalidVertex);
-        EBV_ASSERT(ls.is_master[lv] != 0);
-        if (has_acc[m][lv] != 0) {
-          acc[m][lv] = program.combine(acc[m][lv], msg.value);
-        } else {
-          acc[m][lv] = msg.value;
-          has_acc[m][lv] = 1;
-          emitted[m].push_back(lv);
-        }
-      }
-      to_master[m].clear();
-
-      for (const VertexId lv : emitted[m]) {
-        if (has_acc[m][lv] == 0) continue;  // already resolved in 2a
-        if (ls.is_replicated[lv] != 0 && ls.is_master[lv] == 0) continue;
-        if (ls.is_replicated[lv] == 0) continue;  // resolved in 2a
-        Value merged = acc[m][lv];
-        if (program.combine_with_current()) {
-          merged = program.combine(merged, values[m][lv]);
-        }
-        const Value next = program.apply(ls.global_ids[lv], merged);
-        has_acc[m][lv] = 0;
-        if (next != values[m][lv]) {
-          values[m][lv] = next;
-          updated[m].push_back(lv);
-          any_change = true;
-        }
-        if (next == last_sync[m][lv]) continue;  // mirrors are up to date
-        last_sync[m][lv] = next;
-        any_change = true;
-        const VertexId gv = ls.global_ids[lv];
-        for (const PartitionId peer : graph.parts_of(gv)) {
-          if (peer == m) continue;
-          to_mirror[peer].push_back({gv, next});
-          send(m, peer);
-        }
-      }
-      emitted[m].clear();
-    }
-
-    // 2c. mirrors install broadcast values.
-    for (PartitionId i = 0; i < p; ++i) {
-      const LocalSubgraph& ls = graph.local(i);
-      for (const WireMessage& msg : to_mirror[i]) {
-        const VertexId lv = ls.local_of(msg.global);
-        EBV_ASSERT(lv != kInvalidVertex);
-        last_sync[i][lv] = msg.value;
-        if (values[i][lv] != msg.value) {
-          values[i][lv] = msg.value;
-          updated[i].push_back(lv);
-          any_change = true;
-        }
-      }
-      to_mirror[i].clear();
-      emitted[i].clear();  // all consumed (mirrors cleared acc in 2a)
-    }
+    });
 
     // --- Stage 3: synchronisation (accounting) ---------------------------
     double step_max = 0.0;
@@ -237,16 +423,24 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
   stats.comp_seconds /= p;
   stats.comm_seconds /= p;
 
-  // --- Gather final values from masters (uncovered vertices keep init). --
-  stats.values.resize(graph.num_global_vertices());
+  // --- Gather final values from masters (uncovered vertices keep init).
+  // Written master-side so a bounded budget only materialises one group
+  // at a time; for every covered vertex exactly one worker holds
+  // is_master, so this writes the same values as a per-vertex gather.
+  stats.values.assign(graph.num_global_vertices(), Value{});
+  for_each_group(false, [&](PartitionId first, PartitionId last) {
+    for (PartitionId m = first; m < last; ++m) {
+      const LocalSubgraph& ls = sub(m);
+      for (VertexId lv = 0; lv < ls.num_vertices(); ++lv) {
+        if (ls.is_master[lv] != 0) {
+          stats.values[ls.global_ids[lv]] = values[m][lv];
+        }
+      }
+    }
+  });
   for (VertexId gv = 0; gv < graph.num_global_vertices(); ++gv) {
-    const PartitionId m = graph.master_of(gv);
-    if (m == kInvalidPartition) {
+    if (graph.master_of(gv) == kInvalidPartition) {
       stats.values[gv] = program.init_value(gv);
-    } else {
-      const VertexId lv = graph.local(m).local_of(gv);
-      EBV_ASSERT(lv != kInvalidVertex);
-      stats.values[gv] = values[m][lv];
     }
   }
   stats.wall_seconds = wall.seconds();

@@ -13,6 +13,13 @@
 // Programs exchange values through WorkerContext::emit(local, value); the
 // runtime owns all routing and counts every inter-worker message, which is
 // the paper's platform-independent comparison metric (§V-C).
+//
+// Residency: with RunOptions::resident_workers = k < p the runtime holds
+// at most k materialised worker subgraphs at a time (loading them from a
+// spilled DistributedGraph's EBVW snapshot), executing each superstep as
+// three group sweeps and parking inter-group messages in spillable
+// mailboxes — same results, bounded memory (docs/ARCHITECTURE.md,
+// "Worker-spill execution").
 #pragma once
 
 #include <any>
@@ -95,6 +102,11 @@ struct RunStats {
   double wall_seconds = 0.0;       // real harness time (diagnostic only)
 
   std::uint64_t total_messages = 0;
+  /// Messages before combining (RunOptions::combine_messages): every
+  /// mirror→master emission and master broadcast counts here even when a
+  /// pending same-vertex message absorbed it. Equal to total_messages
+  /// when combining is off — which is how the paper's Table IV counts.
+  std::uint64_t raw_messages = 0;
   std::vector<std::uint64_t> messages_sent_per_worker;
 
   /// Final vertex values indexed by global id (uncovered vertices keep
@@ -118,6 +130,38 @@ struct RunOptions {
   /// as PartitionConfig::num_threads: the knob bounds the stage exactly,
   /// the shared pool only carries the ranks). 0 = use the whole pool.
   std::uint32_t num_threads = 0;
+
+  /// Residency budget: at most this many workers' subgraphs materialised
+  /// at a time. 0 (or >= p) keeps everything resident — the exact
+  /// pre-existing behaviour. With a budget of k < p each superstep runs
+  /// as three sweeps over ⌈p/k⌉ worker groups (compute+route, master
+  /// merge, mirror install), with inter-group messages parked in
+  /// mailboxes until the destination becomes resident. Supersteps,
+  /// message counts, final values and virtual-time accounting are
+  /// BIT-IDENTICAL for every budget. Only a spilled DistributedGraph
+  /// actually frees memory; a resident one just runs the same schedule.
+  std::uint32_t resident_workers = 0;
+
+  /// Directory for runtime spill state: destination mailboxes that
+  /// outgrow mailbox_buffer_messages overflow to append-only files here
+  /// (created lazily, removed when drained). Empty = mailboxes stay
+  /// fully in memory. Also doubles as the analysis drivers' home for the
+  /// EBVW worker snapshot (see analysis::run_with_partition).
+  std::string spill_dir;
+
+  /// In-memory bound per destination mailbox before overflowing to a
+  /// spill file (needs spill_dir and a bounded residency budget;
+  /// otherwise mailboxes simply grow).
+  std::uint64_t mailbox_buffer_messages = 1u << 15;
+
+  /// Opt-in combining: merge same-destination-vertex mirror→master
+  /// messages with the program's combine() before enqueue, PowerGraph
+  /// style. Default off, so Table-IV-style message counts are unchanged;
+  /// RunStats::raw_messages reports the pre-combining count either way.
+  /// Combining changes the master's fold order, so float-summing
+  /// programs (PageRank) may differ in final bits from the uncombined
+  /// run; min/max programs (CC, SSSP, BFS) do not.
+  bool combine_messages = false;
 };
 
 class BspRuntime {

@@ -1,0 +1,32 @@
+// Collision-safe suffixes for temp files that may share a directory.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace ebv {
+
+/// "<pid>-<n>": distinct across concurrently live processes (pid) and
+/// across calls within one process (atomic counter), so two invocations
+/// spilling into the same directory can never clobber each other's
+/// temp files. Purely a naming aid — outputs stay deterministic because
+/// temp-file NAMES never influence file CONTENTS.
+inline std::string process_unique_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+#if defined(_WIN32)
+  const long pid = _getpid();
+#else
+  const long pid = static_cast<long>(::getpid());
+#endif
+  return std::to_string(pid) + "-" +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace ebv

@@ -8,24 +8,21 @@
 #include <stdexcept>
 #include <vector>
 
-#if defined(_WIN32)
-#include <cstdlib>
-#else
-#include <fcntl.h>
-#include <sys/mman.h>
-#include <sys/stat.h>
-#include <unistd.h>
-#endif
+#include "graph/section_io.h"
 
 namespace ebv {
 namespace {
 
+using io::detail::get_field;
+using io::detail::pad_to_page;
+using io::detail::put_field;
+using io::detail::write_raw;
+
 // Header field offsets within the 4 KiB header page (docs/FORMATS.md).
 constexpr char kMagic[4] = {'E', 'B', 'V', 'S'};
 constexpr std::uint32_t kVersion = 1;
-constexpr std::uint32_t kEndianMarker = 0x0A0B0C0D;
 constexpr std::size_t kHeaderBytes = 4096;
-constexpr std::size_t kPageAlign = 4096;
+constexpr std::size_t kPageAlign = io::detail::kSectionPageAlign;
 constexpr std::size_t kMaxNameBytes = 216;
 
 constexpr std::size_t kOffMagic = 0;
@@ -55,28 +52,8 @@ struct SectionEntry {
   std::uint64_t bytes = 0;
 };
 
-template <typename T>
-void put(std::vector<char>& page, std::size_t offset, const T& value) {
-  std::memcpy(page.data() + offset, &value, sizeof value);
-}
-
-template <typename T>
-T get(const std::byte* base, std::size_t offset) {
-  T value{};
-  std::memcpy(&value, base + offset, sizeof value);
-  return value;
-}
-
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("EBVS: " + what);
-}
-
-std::size_t pad_to_page(std::ofstream& out, std::size_t cursor) {
-  static const std::vector<char> zeros(kPageAlign, 0);
-  const std::size_t rem = cursor % kPageAlign;
-  if (rem == 0) return cursor;
-  out.write(zeros.data(), static_cast<std::streamsize>(kPageAlign - rem));
-  return cursor + (kPageAlign - rem);
 }
 
 }  // namespace
@@ -100,14 +77,6 @@ struct SnapshotWriter::Impl {
 namespace {
 
 constexpr std::size_t kWriterChunk = 1u << 16;
-
-void write_raw(std::ofstream& out, std::size_t& cursor, const void* data,
-               std::size_t bytes) {
-  if (bytes == 0) return;
-  out.write(static_cast<const char*>(data),
-            static_cast<std::streamsize>(bytes));
-  cursor += bytes;
-}
 
 }  // namespace
 
@@ -134,12 +103,12 @@ SnapshotWriter::SnapshotWriter(const std::string& path, std::string_view name,
   // final from the start.
   std::vector<char> header(kHeaderBytes, 0);
   std::memcpy(header.data() + kOffMagic, kMagic, sizeof kMagic);
-  put(header, kOffVersion, kVersion);
-  put(header, kOffEndian, kEndianMarker);
-  put(header, kOffHeaderBytes, static_cast<std::uint32_t>(kHeaderBytes));
-  put(header, kOffFlags, weighted ? kFlagWeighted : 0u);
+  put_field(header, kOffVersion, kVersion);
+  put_field(header, kOffEndian, kSectionEndianMarker);
+  put_field(header, kOffHeaderBytes, static_cast<std::uint32_t>(kHeaderBytes));
+  put_field(header, kOffFlags, weighted ? kFlagWeighted : 0u);
   const std::size_t name_len = std::min(name.size(), kMaxNameBytes);
-  put(header, kOffNameLen, static_cast<std::uint32_t>(name_len));
+  put_field(header, kOffNameLen, static_cast<std::uint32_t>(name_len));
   if (name_len > 0) std::memcpy(header.data() + kOffName, name.data(), name_len);
   impl_->out.write(header.data(), static_cast<std::streamsize>(header.size()));
   impl_->cursor = kHeaderBytes;
@@ -292,113 +261,72 @@ Graph read_snapshot_file(const std::string& path) {
 }  // namespace io
 
 MappedGraph::MappedGraph(const std::string& path) {
-#if defined(_WIN32)
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) fail("cannot open: " + path);
-  const auto file_size = static_cast<std::size_t>(in.tellg());
-  auto* buffer = static_cast<std::byte*>(std::malloc(std::max<std::size_t>(
-      file_size, 1)));
-  if (buffer == nullptr) fail("allocation failed for: " + path);
-  in.seekg(0);
-  in.read(reinterpret_cast<char*>(buffer), static_cast<std::streamsize>(
-      file_size));
-  if (!in && file_size != 0) {
-    std::free(buffer);
-    fail("read failed: " + path);
-  }
-  base_ = buffer;
-  size_ = file_size;
-#else
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) fail("cannot open: " + path);
-  struct stat st{};
-  if (::fstat(fd, &st) != 0) {
-    ::close(fd);
-    fail("fstat failed: " + path);
-  }
-  size_ = static_cast<std::size_t>(st.st_size);
-  if (size_ < kHeaderBytes) {
-    ::close(fd);
-    fail("file shorter than the header page: " + path);
-  }
-  void* mapping = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
-  ::close(fd);  // the mapping keeps its own reference
-  if (mapping == MAP_FAILED) fail("mmap failed: " + path);
-  base_ = static_cast<const std::byte*>(mapping);
-#endif
-
   try {
-    if (size_ < kHeaderBytes) fail("file shorter than the header page");
-    if (std::memcmp(base_, kMagic, sizeof kMagic) != 0) fail("bad magic");
-    if (const auto version = get<std::uint32_t>(base_, kOffVersion);
-        version != kVersion) {
-      fail("unsupported version " + std::to_string(version));
-    }
-    if (get<std::uint32_t>(base_, kOffEndian) != kEndianMarker) {
-      fail("endianness mismatch (snapshot written on a foreign-endian host)");
-    }
-    if (get<std::uint32_t>(base_, kOffHeaderBytes) != kHeaderBytes) {
-      fail("unexpected header size");
-    }
-    const auto v64 = get<std::uint64_t>(base_, kOffNumVertices);
-    const auto e64 = get<std::uint64_t>(base_, kOffNumEdges);
-    if (v64 >= kInvalidVertex) fail("vertex count exceeds 32-bit id space");
-    // Bound the counts by the file size BEFORE any size arithmetic: a
-    // hostile e64 near 2^64 would otherwise wrap e64 * sizeof(Edge) and
-    // slip past the section-length checks. (v64 < 2^32, so its products
-    // cannot wrap.)
-    if (e64 > size_ / sizeof(Edge)) {
-      fail("edge count exceeds the file (truncated or hostile header)");
-    }
-    num_vertices_ = static_cast<VertexId>(v64);
-    const auto flags = get<std::uint32_t>(base_, kOffFlags);
-    const auto name_len = get<std::uint32_t>(base_, kOffNameLen);
-    if (name_len > kMaxNameBytes) fail("implausible name length");
-    name_.assign(reinterpret_cast<const char*>(base_) + kOffName, name_len);
-
-    SectionEntry table[kNumSections];
-    std::memcpy(table, base_ + kOffSectionTable, sizeof table);
-    auto section = [&](Section s, std::uint64_t expect_bytes,
-                       const char* what) -> const std::byte* {
-      const SectionEntry& entry = table[s];
-      if (entry.bytes != expect_bytes) {
-        fail(std::string(what) + " section has wrong length");
-      }
-      if (entry.bytes == 0) return base_;  // empty span, any base will do
-      if (entry.offset % kPageAlign != 0) {
-        fail(std::string(what) + " section is not page-aligned");
-      }
-      if (entry.offset > size_ || size_ - entry.offset < entry.bytes) {
-        fail(std::string(what) + " section exceeds the file (truncated?)");
-      }
-      return base_ + entry.offset;
-    };
-
-    const std::uint64_t v_plus_1 = v64 + 1;
-    edges_ = {reinterpret_cast<const Edge*>(
-                  section(kSecEdges, e64 * sizeof(Edge), "edge")),
-              static_cast<std::size_t>(e64)};
-    const std::uint64_t weight_bytes =
-        (flags & kFlagWeighted) != 0 ? e64 * sizeof(float) : 0;
-    weights_ = {reinterpret_cast<const float*>(
-                    section(kSecWeights, weight_bytes, "weight")),
-                static_cast<std::size_t>(weight_bytes / sizeof(float))};
-    csr_offsets_ = {
-        reinterpret_cast<const std::uint64_t*>(section(
-            kSecCsrOffsets, v_plus_1 * sizeof(std::uint64_t), "csr-offset")),
-        static_cast<std::size_t>(v_plus_1)};
-    out_degrees_ = {
-        reinterpret_cast<const std::uint32_t*>(section(
-            kSecOutDegrees, v64 * sizeof(std::uint32_t), "out-degree")),
-        static_cast<std::size_t>(v64)};
-    in_degrees_ = {
-        reinterpret_cast<const std::uint32_t*>(section(
-            kSecInDegrees, v64 * sizeof(std::uint32_t), "in-degree")),
-        static_cast<std::size_t>(v64)};
-  } catch (...) {
-    unmap();
-    throw;
+    file_ = io::detail::MappedFile(path);
+  } catch (const std::runtime_error& e) {
+    fail(e.what());
   }
+  // If a check below throws, the already-constructed file_ member unmaps
+  // itself — no manual cleanup needed.
+  const std::byte* base = file_.data();
+  const std::size_t size = file_.size();
+
+  io::detail::check_header_prologue(base, size, kMagic, kVersion, "EBVS");
+  const auto v64 = get_field<std::uint64_t>(base, kOffNumVertices);
+  const auto e64 = get_field<std::uint64_t>(base, kOffNumEdges);
+  if (v64 >= kInvalidVertex) fail("vertex count exceeds 32-bit id space");
+  // Bound the counts by the file size BEFORE any size arithmetic: a
+  // hostile e64 near 2^64 would otherwise wrap e64 * sizeof(Edge) and
+  // slip past the section-length checks. (v64 < 2^32, so its products
+  // cannot wrap.)
+  if (e64 > size / sizeof(Edge)) {
+    fail("edge count exceeds the file (truncated or hostile header)");
+  }
+  num_vertices_ = static_cast<VertexId>(v64);
+  const auto flags = get_field<std::uint32_t>(base, kOffFlags);
+  const auto name_len = get_field<std::uint32_t>(base, kOffNameLen);
+  if (name_len > kMaxNameBytes) fail("implausible name length");
+  name_.assign(reinterpret_cast<const char*>(base) + kOffName, name_len);
+
+  SectionEntry table[kNumSections];
+  std::memcpy(table, base + kOffSectionTable, sizeof table);
+  auto section = [&](Section s, std::uint64_t expect_bytes,
+                     const char* what) -> const std::byte* {
+    const SectionEntry& entry = table[s];
+    if (entry.bytes != expect_bytes) {
+      fail(std::string(what) + " section has wrong length");
+    }
+    if (entry.bytes == 0) return base;  // empty span, any base will do
+    if (entry.offset % kPageAlign != 0) {
+      fail(std::string(what) + " section is not page-aligned");
+    }
+    if (entry.offset > size || size - entry.offset < entry.bytes) {
+      fail(std::string(what) + " section exceeds the file (truncated?)");
+    }
+    return base + entry.offset;
+  };
+
+  const std::uint64_t v_plus_1 = v64 + 1;
+  edges_ = {reinterpret_cast<const Edge*>(
+                section(kSecEdges, e64 * sizeof(Edge), "edge")),
+            static_cast<std::size_t>(e64)};
+  const std::uint64_t weight_bytes =
+      (flags & kFlagWeighted) != 0 ? e64 * sizeof(float) : 0;
+  weights_ = {reinterpret_cast<const float*>(
+                  section(kSecWeights, weight_bytes, "weight")),
+              static_cast<std::size_t>(weight_bytes / sizeof(float))};
+  csr_offsets_ = {
+      reinterpret_cast<const std::uint64_t*>(section(
+          kSecCsrOffsets, v_plus_1 * sizeof(std::uint64_t), "csr-offset")),
+      static_cast<std::size_t>(v_plus_1)};
+  out_degrees_ = {
+      reinterpret_cast<const std::uint32_t*>(section(
+          kSecOutDegrees, v64 * sizeof(std::uint32_t), "out-degree")),
+      static_cast<std::size_t>(v64)};
+  in_degrees_ = {
+      reinterpret_cast<const std::uint32_t*>(section(
+          kSecInDegrees, v64 * sizeof(std::uint32_t), "in-degree")),
+      static_cast<std::size_t>(v64)};
 }
 
 void MappedGraph::validate() const {
@@ -431,51 +359,6 @@ void MappedGraph::validate() const {
     }
     prev = &e;
   }
-}
-
-void MappedGraph::unmap() noexcept {
-  if (base_ == nullptr) return;
-#if defined(_WIN32)
-  std::free(const_cast<std::byte*>(base_));
-#else
-  ::munmap(const_cast<std::byte*>(base_), size_);
-#endif
-  base_ = nullptr;
-  size_ = 0;
-}
-
-MappedGraph::~MappedGraph() { unmap(); }
-
-MappedGraph::MappedGraph(MappedGraph&& other) noexcept
-    : base_(other.base_),
-      size_(other.size_),
-      num_vertices_(other.num_vertices_),
-      name_(std::move(other.name_)),
-      edges_(other.edges_),
-      weights_(other.weights_),
-      csr_offsets_(other.csr_offsets_),
-      out_degrees_(other.out_degrees_),
-      in_degrees_(other.in_degrees_) {
-  other.base_ = nullptr;
-  other.size_ = 0;
-}
-
-MappedGraph& MappedGraph::operator=(MappedGraph&& other) noexcept {
-  if (this != &other) {
-    unmap();
-    base_ = other.base_;
-    size_ = other.size_;
-    num_vertices_ = other.num_vertices_;
-    name_ = std::move(other.name_);
-    edges_ = other.edges_;
-    weights_ = other.weights_;
-    csr_offsets_ = other.csr_offsets_;
-    out_degrees_ = other.out_degrees_;
-    in_degrees_ = other.in_degrees_;
-    other.base_ = nullptr;
-    other.size_ = 0;
-  }
-  return *this;
 }
 
 }  // namespace ebv

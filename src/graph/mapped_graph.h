@@ -29,6 +29,7 @@
 
 #include "graph/graph.h"
 #include "graph/graph_view.h"
+#include "graph/section_io.h"
 
 namespace ebv {
 
@@ -94,12 +95,14 @@ class MappedGraph {
   /// std::runtime_error on any mismatch. Section *contents* are trusted
   /// until validate() is called.
   explicit MappedGraph(const std::string& path);
-  ~MappedGraph();
+  ~MappedGraph() = default;
 
   MappedGraph(const MappedGraph&) = delete;
   MappedGraph& operator=(const MappedGraph&) = delete;
-  MappedGraph(MappedGraph&& other) noexcept;
-  MappedGraph& operator=(MappedGraph&& other) noexcept;
+  // Moves transfer the mapping; the moved-from object's spans are dead and
+  // it must only be destroyed.
+  MappedGraph(MappedGraph&& other) noexcept = default;
+  MappedGraph& operator=(MappedGraph&& other) noexcept = default;
 
   /// Non-owning view over the mapped sections; valid while *this lives.
   [[nodiscard]] GraphView view() const {
@@ -119,7 +122,7 @@ class MappedGraph {
   [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
 
   /// Total bytes mapped (header + sections + padding).
-  [[nodiscard]] std::size_t mapped_bytes() const { return size_; }
+  [[nodiscard]] std::size_t mapped_bytes() const { return file_.size(); }
 
   /// One sequential pass over every section verifying the invariants the
   /// header cannot express: endpoints < |V|, edges ascending by (src,dst),
@@ -129,10 +132,7 @@ class MappedGraph {
   void validate() const;
 
  private:
-  void unmap() noexcept;
-
-  const std::byte* base_ = nullptr;
-  std::size_t size_ = 0;
+  io::detail::MappedFile file_;
   VertexId num_vertices_ = 0;
   std::string name_;
   std::span<const Edge> edges_;

@@ -1,0 +1,123 @@
+#include "graph/section_io.h"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#if defined(_WIN32)
+// Heap-copy fallback only.
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace ebv::io::detail {
+
+void check_header_prologue(const std::byte* base, std::size_t size,
+                           const char magic[4], std::uint32_t version,
+                           const char* format) {
+  const auto fail = [&](const std::string& what) {
+    throw std::runtime_error(std::string(format) + ": " + what);
+  };
+  if (size < kSectionPageAlign) fail("file shorter than the header page");
+  if (std::memcmp(base, magic, 4) != 0) fail("bad magic");
+  if (const auto v = get_field<std::uint32_t>(base, 4); v != version) {
+    fail("unsupported version " + std::to_string(v));
+  }
+  if (get_field<std::uint32_t>(base, 8) != kSectionEndianMarker) {
+    fail("endianness mismatch (file written on a foreign-endian host)");
+  }
+  if (get_field<std::uint32_t>(base, 12) != kSectionPageAlign) {
+    fail("unexpected header size");
+  }
+}
+
+void write_raw(std::ofstream& out, std::size_t& cursor, const void* data,
+               std::size_t bytes) {
+  if (bytes == 0) return;
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  cursor += bytes;
+}
+
+std::size_t pad_to_page(std::ofstream& out, std::size_t cursor) {
+  static const std::vector<char> zeros(kSectionPageAlign, 0);
+  const std::size_t rem = cursor % kSectionPageAlign;
+  if (rem == 0) return cursor;
+  out.write(zeros.data(),
+            static_cast<std::streamsize>(kSectionPageAlign - rem));
+  return cursor + (kSectionPageAlign - rem);
+}
+
+MappedFile::MappedFile(const std::string& path) {
+#if defined(_WIN32)
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  const auto file_size = static_cast<std::size_t>(in.tellg());
+  if (file_size == 0) throw std::runtime_error("empty file: " + path);
+  auto* buffer = static_cast<std::byte*>(std::malloc(file_size));
+  if (buffer == nullptr) {
+    throw std::runtime_error("allocation failed for: " + path);
+  }
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(buffer),
+          static_cast<std::streamsize>(file_size));
+  if (!in) {
+    std::free(buffer);
+    throw std::runtime_error("read failed: " + path);
+  }
+  base_ = buffer;
+  size_ = file_size;
+#else
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw std::runtime_error("cannot open: " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw std::runtime_error("fstat failed: " + path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    ::close(fd);
+    throw std::runtime_error("empty file: " + path);
+  }
+  void* mapping = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (mapping == MAP_FAILED) throw std::runtime_error("mmap failed: " + path);
+  base_ = static_cast<const std::byte*>(mapping);
+#endif
+}
+
+void MappedFile::unmap() noexcept {
+  if (base_ == nullptr) return;
+#if defined(_WIN32)
+  std::free(const_cast<std::byte*>(base_));
+#else
+  ::munmap(const_cast<std::byte*>(base_), size_);
+#endif
+  base_ = nullptr;
+  size_ = 0;
+}
+
+MappedFile::~MappedFile() { unmap(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : base_(other.base_), size_(other.size_) {
+  other.base_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    base_ = other.base_;
+    size_ = other.size_;
+    other.base_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+}  // namespace ebv::io::detail

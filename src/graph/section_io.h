@@ -1,0 +1,84 @@
+// Shared low-level machinery for page-aligned section files. Two on-disk
+// formats are built on it: EBVS graph snapshots (graph/mapped_graph.h)
+// and EBVW worker-spill snapshots (bsp/spill_store.h). Both follow the
+// same shape — a 4 KiB header page, raw little-endian sections starting
+// at 4096-byte-aligned offsets, a patch-at-finish section table — and
+// both are consumed through a read-only mapping whose pages the kernel
+// demand-pages and may reclaim at any time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ebv::io::detail {
+
+/// Alignment of every section start (and the header page size of both
+/// formats): one 4 KiB page, so each mapped section begins on its own
+/// page and casts to element pointers are always aligned.
+inline constexpr std::size_t kSectionPageAlign = 4096;
+
+/// Native-endianness marker shared by every section-file header; a
+/// reader seeing any other value rejects the file (cross-endian files
+/// are not supported).
+inline constexpr std::uint32_t kSectionEndianMarker = 0x0A0B0C0D;
+
+/// Serialise a field into a header page under construction.
+template <typename T>
+void put_field(std::vector<char>& page, std::size_t offset, const T& value) {
+  std::memcpy(page.data() + offset, &value, sizeof value);
+}
+
+/// Read a field out of a mapped header page.
+template <typename T>
+T get_field(const std::byte* base, std::size_t offset) {
+  T value{};
+  std::memcpy(&value, base + offset, sizeof value);
+  return value;
+}
+
+/// Validate the 16-byte prologue every section file starts with — magic
+/// (offset 0), u32 version (4), u32 endianness marker (8), u32 header
+/// size = kSectionPageAlign (12) — plus the minimum file size. Throws
+/// std::runtime_error prefixed with `format` ("EBVS"/"EBVW") on any
+/// mismatch, so both formats reject foreign files with one validator.
+void check_header_prologue(const std::byte* base, std::size_t size,
+                           const char magic[4], std::uint32_t version,
+                           const char* format);
+
+/// Append `bytes` raw bytes to `out`, advancing `cursor`.
+void write_raw(std::ofstream& out, std::size_t& cursor, const void* data,
+               std::size_t bytes);
+
+/// Zero-pad `out` up to the next page boundary; returns the new cursor.
+std::size_t pad_to_page(std::ofstream& out, std::size_t cursor);
+
+/// A whole file mapped read-only (POSIX mmap; a heap copy on platforms
+/// without it). Move-only; the mapping lives until destruction. Throws
+/// std::runtime_error when the file cannot be opened, is empty, or the
+/// mapping fails.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  [[nodiscard]] const std::byte* data() const { return base_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  void unmap() noexcept;
+
+  const std::byte* base_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ebv::io::detail

@@ -12,6 +12,7 @@
 
 #include "common/assert.h"
 #include "common/parallel.h"
+#include "common/unique_id.h"
 #include "graph/graph_view.h"
 #include "graph/io.h"
 #include "graph/mapped_graph.h"
@@ -173,15 +174,20 @@ class TextEdgeReader {
 };
 
 std::string run_path(const ConvertOptions& options,
-                     const std::string& output_path, std::size_t index) {
+                     const std::string& output_path, std::size_t index,
+                     const std::string& token) {
   namespace fs = std::filesystem;
   const fs::path out(output_path);
   const fs::path dir = options.temp_dir.empty()
                            ? (out.has_parent_path() ? out.parent_path()
                                                     : fs::path("."))
                            : fs::path(options.temp_dir);
+  // `token` (pid + per-process counter) makes the name collision-safe:
+  // two concurrent converts sharing a temp_dir — even of the same output
+  // filename — spill to disjoint run files instead of truncating each
+  // other's live runs.
   return (dir / (out.filename().string() + ".run" + std::to_string(index) +
-                 ".tmp"))
+                 "." + token + ".tmp"))
       .string();
 }
 
@@ -231,9 +237,11 @@ ConvertStats convert_edge_list_to_snapshot(const std::string& input_path,
   VertexId max_id_plus_1 = 0;
   bool weighted = false;
 
+  const std::string run_token = process_unique_suffix();
   auto spill = [&] {
     sort_run(buffer, options.num_threads);
-    const std::string path = run_path(options, output_path, run_files.size());
+    const std::string path =
+        run_path(options, output_path, run_files.size(), run_token);
     std::ofstream run(path, std::ios::binary | std::ios::trunc);
     if (!run) throw std::runtime_error("convert: cannot open run: " + path);
     run.write(reinterpret_cast<const char*>(buffer.data()),

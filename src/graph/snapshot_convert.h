@@ -40,8 +40,10 @@ struct ConvertOptions {
   /// occurrence in input order (and its weight).
   bool deduplicate = false;
 
-  /// Directory for the spilled runs; empty = "<output path>.runs.<n>"
-  /// siblings next to the snapshot being written.
+  /// Directory for the spilled runs; empty = siblings next to the
+  /// snapshot being written. Run-file names carry a pid-unique suffix
+  /// ("<out>.run<k>.<pid>-<n>.tmp"), so concurrent converts may share a
+  /// temp_dir safely; runs are removed on completion and on failure.
   std::string temp_dir;
 };
 

@@ -2,6 +2,8 @@
 // programs, independent of the real applications.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "bsp/runtime.h"
 #include "graph/generators.h"
 #include "partition/registry.h"
@@ -132,6 +134,56 @@ TEST(Runtime, StatsShapeIsConsistent) {
   std::uint64_t per_worker_total = 0;
   for (const auto m : stats.messages_sent_per_worker) per_worker_total += m;
   EXPECT_EQ(per_worker_total, stats.total_messages);
+}
+
+TEST(Runtime, StatsInvariantsRecomputeExactly) {
+  // RunStats redundancy pins: the aggregate fields must be EXACTLY
+  // recomputable from the per-superstep, per-worker matrix.
+  const Graph g = gen::chung_lu(300, 2400, 2.3, false, 12);
+  const PartitionId p = 5;
+  const DistributedGraph dist(g, round_robin(g, p));
+  const bsp::RunOptions opts;  // default cost model
+  const RunStats stats = BspRuntime(opts).run(dist, MaxOneHop());
+
+  // steps dimensions are supersteps × p.
+  ASSERT_EQ(stats.steps.size(), stats.supersteps);
+  for (const auto& step : stats.steps) ASSERT_EQ(step.size(), p);
+
+  // total_messages == Σ messages_sent_per_worker.
+  ASSERT_EQ(stats.messages_sent_per_worker.size(), p);
+  std::uint64_t per_worker = 0;
+  for (const auto m : stats.messages_sent_per_worker) per_worker += m;
+  EXPECT_EQ(stats.total_messages, per_worker);
+  EXPECT_GT(stats.total_messages, 0u);
+  // Combining is off, so the raw count is the wire count.
+  EXPECT_EQ(stats.raw_messages, stats.total_messages);
+
+  // execution_seconds == Σ_k (max_i(comp+comm) + latency), recomputed in
+  // the runtime's own association order — exact double equality, not
+  // approximate.
+  double execution = 0.0;
+  double delta_c = 0.0;
+  double comp = 0.0;
+  double comm = 0.0;
+  for (const auto& step : stats.steps) {
+    double mx = 0.0;
+    double mn = std::numeric_limits<double>::infinity();
+    for (const auto& w : step) {
+      const double t = w.comp_seconds + w.comm_seconds;
+      mx = std::max(mx, t);
+      mn = std::min(mn, t);
+    }
+    execution += mx + opts.cost_model.latency_seconds();
+    delta_c += mx - mn;
+    for (const auto& w : step) {
+      comp += w.comp_seconds;
+      comm += w.comm_seconds;
+    }
+  }
+  EXPECT_EQ(stats.execution_seconds, execution);
+  EXPECT_EQ(stats.delta_c_seconds, delta_c);
+  EXPECT_EQ(stats.comp_seconds, comp / p);
+  EXPECT_EQ(stats.comm_seconds, comm / p);
 }
 
 TEST(Runtime, ExecutionTimeDominatedBySlowestWorker) {

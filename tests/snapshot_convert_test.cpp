@@ -4,7 +4,9 @@
 // in-memory snapshot writer on the same edge list.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -163,6 +165,41 @@ TEST(SnapshotConvert, FailedConvertLeavesNoPartialOutput) {
   // previously valid snapshot at the same path.
   std::ifstream check(output);
   EXPECT_FALSE(check.good());
+}
+
+TEST(SnapshotConvert, SharedTempDirDoesNotClobberForeignRunFiles) {
+  // Two converts sharing a temp_dir must spill to disjoint run files.
+  // Simulate the other invocation with a legacy-named decoy run file: the
+  // old "<out>.run<k>.tmp" scheme would truncate it in place and then
+  // delete it during cleanup; the pid-unique names must leave it alone.
+  namespace fs = std::filesystem;
+  const std::string tmp_dir = temp_path("convert_shared_tmp");
+  fs::create_directories(tmp_dir);
+  const std::string out_name = "convert_shared.ebvs";
+  const std::string decoy = tmp_dir + "/" + out_name + ".run0.tmp";
+  {
+    std::ofstream d(decoy, std::ios::binary);
+    d << "foreign run data";
+  }
+
+  io::ConvertOptions options;
+  options.memory_budget_bytes = 16 << 10;  // force multi-run spills
+  options.temp_dir = tmp_dir;
+  const std::string output = temp_path(out_name);
+  const io::ConvertStats stats =
+      io::convert_edge_list_to_snapshot(sample_text(), output, options);
+  ASSERT_GT(stats.num_runs, 1u);
+
+  EXPECT_EQ(file_bytes(decoy), "foreign run data");
+  // Own run files are cleaned up; only the decoy remains.
+  const auto remaining = std::distance(fs::directory_iterator(tmp_dir),
+                                       fs::directory_iterator{});
+  EXPECT_EQ(remaining, 1);
+
+  // And the snapshot is still byte-identical to a clean convert.
+  const std::string reference = temp_path("convert_shared_ref.ebvs");
+  io::convert_edge_list_to_snapshot(sample_text(), reference);
+  EXPECT_EQ(file_bytes(output), file_bytes(reference));
 }
 
 TEST(SnapshotConvert, EbvgInputConvertsResident) {

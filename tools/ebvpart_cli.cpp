@@ -9,6 +9,7 @@
 //                     [--order sorted|natural|desc|random] --out parts.ebvp
 //   ebvpart run       --graph graph.ebvg | --mmap graph.ebvs
 //                     [--partition parts.ebvp] --app cc|pr|sssp
+//                     [--resident-workers 1] [--spill-dir DIR] [--combine 1]
 //
 // Graph files: .ebvg binary (ebvpart generate), .ebvs mmap snapshots
 // (ebvpart convert; --graph loads them resident, --mmap maps them
@@ -284,6 +285,18 @@ int cmd_run(const ArgMap& args) {
     options.num_threads = threads;
   }
 
+  // --resident-workers K bounds how many worker subgraphs are materialised
+  // at a time; a binding budget (0 < K < parts) spills the per-worker
+  // subgraphs to an EBVW snapshot in --spill-dir (default: the system temp
+  // directory; the file is removed after the run), while 0 or K >= parts
+  // stays all-resident with no spill I/O. Results are bit-identical for
+  // every K. --combine 1 merges same-vertex mirror->master messages before
+  // sending (message counts drop; the run table gains a raw-count row).
+  options.resident_workers = static_cast<std::uint32_t>(
+      get_uint(args, "resident-workers", "0", kU32Max));
+  if (args.count("spill-dir") != 0) options.spill_dir = args.at("spill-dir");
+  options.combine_messages = get(args, "combine", "0") != "0";
+
   // --mmap feeds the whole pipeline (partition → DistributedGraph → BSP)
   // from the mapped snapshot sections: no resident Graph is ever built,
   // and results are bit-identical to --graph on the same snapshot.
@@ -321,6 +334,11 @@ int cmd_run(const ArgMap& args) {
   table.add_row({"workers", std::to_string(result.num_parts)});
   table.add_row({"supersteps", std::to_string(result.run.supersteps)});
   table.add_row({"messages", with_commas(result.run.total_messages)});
+  if (options.combine_messages) {
+    // Only under --combine 1: the default table stays byte-identical
+    // across residency budgets (the CI e2e diffs them).
+    table.add_row({"messages (raw)", with_commas(result.run.raw_messages)});
+  }
   table.add_row(
       {"comp (avg)", format_duration(result.run.comp_seconds)});
   table.add_row(
@@ -353,11 +371,16 @@ void print_usage(std::ostream& out) {
          "  run       --graph g.{ebvg,ebvs,txt} | --mmap g.ebvs\n"
          "            --app cc|pr|sssp [--threads T]\n"
          "            (--partition p.ebvp | [--algo ebv] [--parts 8])\n"
+         "            [--resident-workers K] [--spill-dir DIR] [--combine 0|1]\n"
          "\n"
          "--mmap maps an EBVS snapshot read-only and streams partitioning —\n"
          "and, for run, distributed-graph construction and the BSP\n"
          "supersteps — over it without a resident copy (bit-identical to\n"
          "--graph on the same snapshot).\n"
+         "--resident-workers K spills the per-worker subgraphs to an EBVW\n"
+         "snapshot (in --spill-dir, default the system temp dir) and keeps\n"
+         "at most K of them materialised per superstep sweep — same output,\n"
+         "bounded subgraph residency (0 = all resident).\n"
          "Formats: docs/FORMATS.md; full flag reference: docs/CLI.md.\n";
 }
 
