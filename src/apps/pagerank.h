@@ -3,6 +3,17 @@
 // over its local in-edges, the replica sync adds partials across workers
 // (combine = +), and the master applies teleport + damping before
 // broadcasting the new rank to mirrors.
+//
+// Known deviation from textbook PageRank — dangling mass is DROPPED, not
+// redistributed: a source with out-degree 0 contributes nothing to any
+// partial sum (pagerank.cpp skips it), so on graphs with sinks Σ rank
+// shrinks below 1 by d·(sink mass) per iteration instead of that mass
+// being spread uniformly. This matches pagerank_reference (both sides of
+// every apps test drop the same mass), matches Pregel-style "no outgoing
+// messages" semantics, and preserves the relative ranking on the graphs
+// the paper evaluates. Pinned by apps_test
+// (PageRankSinkGraphPinsDanglingMassLoss); revisit there before changing
+// the semantics.
 #pragma once
 
 #include "bsp/runtime.h"

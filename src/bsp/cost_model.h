@@ -17,6 +17,8 @@
 
 #include <cstdint>
 
+#include "common/assert.h"
+
 namespace ebv::bsp {
 
 struct ClusterCostModel {
@@ -33,8 +35,18 @@ struct ClusterCostModel {
   double msg_local_us = 0.03;
   /// Fixed barrier/round latency charged once per superstep.
   double superstep_latency_us = 200.0;
-  /// Workers per simulated node (paper: 8 CPUs per node).
+  /// Workers per simulated node (paper: 8 CPUs per node). Must be >= 1:
+  /// same_node() divides by it. Consumers call validate() at their entry
+  /// points (BspRuntime::run, the engines) so a zero from a config
+  /// surface fails with a clear error instead of integer-division UB.
   std::uint32_t workers_per_node = 8;
+
+  /// Throws std::invalid_argument (EBV_REQUIRE) on unusable constants.
+  void validate() const {
+    EBV_REQUIRE(workers_per_node >= 1,
+                "cost model: workers_per_node must be >= 1 (node placement "
+                "divides by it)");
+  }
 
   [[nodiscard]] bool same_node(std::uint32_t worker_a,
                                std::uint32_t worker_b) const {

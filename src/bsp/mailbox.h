@@ -1,0 +1,167 @@
+// Destination inboxes for the BSP runtime's replica-synchronisation
+// messages (extracted from runtime.cpp when the task-graph scheduler
+// made them a shared component).
+//
+// SpillMailbox<T> is the single-owner mailbox: messages accumulate in
+// append order; under a bounded residency budget the destination worker
+// may not be materialised until a later phase, so an inbox that
+// outgrows its in-memory cap flushes to an append-only spill file
+// (oldest prefix on disk, newest suffix in memory — drain() replays the
+// file first, preserving append order exactly). With no spill path
+// configured it is a plain vector.
+//
+// SharedMailbox<T> wraps one SpillMailbox for the two scheduler modes:
+//   push_serial()     — strict mode; the scheduler's ordering chains
+//                       guarantee exclusive access, so no locking.
+//   push_concurrent() — async mode; a bounded ring channel absorbs the
+//                       hot path (short critical section, no growth or
+//                       file I/O under the lock), and when the ring is
+//                       full the push falls back to the mutex-guarded
+//                       spill mailbox — that is the backpressure path.
+// drain() and buffer() are owner-only (the scheduler orders every
+// producer before the consumer). Async drains see ring entries before
+// overflow entries, so the global append order is NOT preserved — which
+// is exactly the reordering the async mode's contract permits.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/task_graph.h"
+
+namespace ebv::bsp {
+
+template <typename T>
+class SpillMailbox {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "spilled messages are written as raw bytes");
+
+ public:
+  /// `path` empty disables file overflow; `cap` is the in-memory bound.
+  void configure(std::string path, std::uint64_t cap) {
+    path_ = std::move(path);
+    cap_ = std::max<std::uint64_t>(cap, 1);
+  }
+
+  void push(const T& msg) {
+    buf_.push_back(msg);
+    if (!path_.empty() && buf_.size() >= cap_) flush();
+  }
+
+  /// Direct access to the in-memory tail (message combining rewrites
+  /// pending values in place; combining mailboxes never flush, so the
+  /// recorded indices stay valid for the whole superstep).
+  [[nodiscard]] std::vector<T>& buffer() { return buf_; }
+
+  template <typename Fn>
+  void drain(Fn&& fn) {
+    if (spilled_ > 0) {
+      out_.flush();
+      if (!out_) fail_io("flush");
+      out_.close();
+      std::ifstream in(path_, std::ios::binary);
+      if (!in) fail_io("reopen");
+      std::vector<T> chunk;
+      std::uint64_t remaining = spilled_;
+      while (remaining > 0) {
+        chunk.resize(static_cast<std::size_t>(
+            std::min<std::uint64_t>(remaining, 1u << 14)));
+        in.read(reinterpret_cast<char*>(chunk.data()),
+                static_cast<std::streamsize>(chunk.size() * sizeof(T)));
+        if (!in) fail_io("read");
+        for (const T& msg : chunk) fn(msg);
+        remaining -= chunk.size();
+      }
+      in.close();
+      std::remove(path_.c_str());
+      spilled_ = 0;
+    }
+    for (const T& msg : buf_) fn(msg);
+    buf_.clear();
+  }
+
+  ~SpillMailbox() {
+    if (spilled_ > 0) {
+      out_.close();
+      std::remove(path_.c_str());
+    }
+  }
+
+ private:
+  void flush() {
+    if (!out_.is_open()) {
+      out_.open(path_, std::ios::binary | std::ios::trunc);
+      if (!out_) fail_io("open");
+    }
+    out_.write(reinterpret_cast<const char*>(buf_.data()),
+               static_cast<std::streamsize>(buf_.size() * sizeof(T)));
+    if (!out_) fail_io("append");
+    spilled_ += buf_.size();
+    buf_.clear();
+  }
+
+  [[noreturn]] void fail_io(const char* what) const {
+    throw std::runtime_error(std::string("mailbox spill: ") + what +
+                             " failed: " + path_);
+  }
+
+  std::vector<T> buf_;
+  std::string path_;
+  std::uint64_t cap_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t spilled_ = 0;
+  std::ofstream out_;
+};
+
+template <typename T>
+class SharedMailbox {
+ public:
+  void configure(std::string path, std::uint64_t cap) {
+    box_.configure(std::move(path), cap);
+  }
+
+  /// Arms the concurrent push path (async scheduler). Without it,
+  /// push_concurrent degrades to lock + spill-mailbox push.
+  void enable_channel(std::size_t capacity) { channel_.emplace(capacity); }
+
+  /// Exclusive-producer push: the caller must be the only producer at
+  /// this moment (the strict scheduler's chains guarantee it).
+  void push_serial(const T& msg) { box_.push(msg); }
+
+  /// Any-producer push: ring first; mutex-guarded spill overflow when
+  /// the ring is full. Never blocks on channel state (a blocked task
+  /// would occupy a finite-pool executor).
+  void push_concurrent(const T& msg) {
+    if (channel_.has_value() && channel_->try_push(msg)) return;
+    std::lock_guard lock(mu_);
+    box_.push(msg);
+  }
+
+  /// Owner-only: combining's in-place rewrite window (strict mode).
+  [[nodiscard]] std::vector<T>& buffer() { return box_.buffer(); }
+
+  /// Owner-only: every producer must be ordered before the caller.
+  template <typename Fn>
+  void drain(Fn&& fn) {
+    if (channel_.has_value()) {
+      T msg;
+      while (channel_->try_pop(msg)) fn(msg);
+    }
+    box_.drain(fn);
+  }
+
+ private:
+  std::optional<BoundedChannel<T>> channel_;
+  std::mutex mu_;
+  SpillMailbox<T> box_;
+};
+
+}  // namespace ebv::bsp

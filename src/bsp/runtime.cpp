@@ -1,15 +1,20 @@
 #include "bsp/runtime.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <fstream>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "bsp/mailbox.h"
 #include "common/assert.h"
 #include "common/parallel.h"
+#include "common/task_graph.h"
 #include "common/timer.h"
 #include "common/unique_id.h"
 
@@ -22,92 +27,21 @@ struct WireMessage {
   Value value = 0.0;
 };
 
-/// A destination worker's inbox for one direction (to-master or
-/// to-mirror). Messages accumulate in append order; under a bounded
-/// residency budget the destination may not be materialised until a
-/// later sweep, so an inbox that outgrows its in-memory cap flushes to
-/// an append-only spill file (oldest prefix on disk, newest suffix in
-/// memory — drain() replays file first, preserving append order
-/// exactly). With no spill path configured it is a plain vector, the
-/// pre-existing behaviour.
-class Mailbox {
- public:
-  /// `path` empty disables file overflow; `cap` is the in-memory bound.
-  void configure(std::string path, std::uint64_t cap) {
-    path_ = std::move(path);
-    cap_ = std::max<std::uint64_t>(cap, 1);
-  }
+using MsgBox = SharedMailbox<WireMessage>;
 
-  void push(const WireMessage& msg) {
-    buf_.push_back(msg);
-    if (!path_.empty() && buf_.size() >= cap_) flush();
-  }
+/// Ring capacity of the async push path's bounded channel; a push that
+/// finds the ring full falls back to the mutex-guarded spill mailbox
+/// (the backpressure path). Strict mode never arms the channel.
+constexpr std::size_t kChannelCapacity = 1024;
 
-  /// Direct access to the in-memory tail (message combining rewrites
-  /// pending values in place; combining mailboxes never flush, so the
-  /// recorded indices stay valid for the whole superstep).
-  [[nodiscard]] std::vector<WireMessage>& buffer() { return buf_; }
-
-  template <typename Fn>
-  void drain(Fn&& fn) {
-    if (spilled_ > 0) {
-      out_.flush();
-      if (!out_) fail_io("flush");
-      out_.close();
-      std::ifstream in(path_, std::ios::binary);
-      if (!in) fail_io("reopen");
-      std::vector<WireMessage> chunk;
-      std::uint64_t remaining = spilled_;
-      while (remaining > 0) {
-        chunk.resize(static_cast<std::size_t>(
-            std::min<std::uint64_t>(remaining, 1u << 14)));
-        in.read(reinterpret_cast<char*>(chunk.data()),
-                static_cast<std::streamsize>(chunk.size() *
-                                             sizeof(WireMessage)));
-        if (!in) fail_io("read");
-        for (const WireMessage& msg : chunk) fn(msg);
-        remaining -= chunk.size();
-      }
-      in.close();
-      std::remove(path_.c_str());
-      spilled_ = 0;
-    }
-    for (const WireMessage& msg : buf_) fn(msg);
-    buf_.clear();
-  }
-
-  ~Mailbox() {
-    if (spilled_ > 0) {
-      out_.close();
-      std::remove(path_.c_str());
-    }
-  }
-
- private:
-  void flush() {
-    if (!out_.is_open()) {
-      out_.open(path_, std::ios::binary | std::ios::trunc);
-      if (!out_) fail_io("open");
-    }
-    out_.write(reinterpret_cast<const char*>(buf_.data()),
-               static_cast<std::streamsize>(buf_.size() *
-                                            sizeof(WireMessage)));
-    if (!out_) fail_io("append");
-    spilled_ += buf_.size();
-    buf_.clear();
-  }
-
-  [[noreturn]] void fail_io(const char* what) const {
-    throw std::runtime_error(std::string("mailbox spill: ") + what +
-                             " failed: " + path_);
-  }
-
-  std::vector<WireMessage> buf_;
-  std::string path_;
-  std::uint64_t cap_ = std::numeric_limits<std::uint64_t>::max();
-  std::uint64_t spilled_ = 0;
-  std::ofstream out_;
-};
+[[noreturn]] void fail_nan(const SubgraphProgram& program, VertexId gv,
+                           std::uint32_t step) {
+  throw std::runtime_error(
+      "bsp: program '" + program.name() + "' produced NaN for vertex " +
+      std::to_string(gv) + " in superstep " + std::to_string(step) +
+      "; NaN never compares equal to itself, so the change-driven halting "
+      "test would burn max_supersteps without converging");
+}
 
 }  // namespace
 
@@ -116,6 +50,12 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
   const Timer wall;
   const PartitionId p = graph.num_workers();
   EBV_REQUIRE(p >= 1, "need at least one worker");
+  options_.cost_model.validate();
+  const bool async = options_.scheduler == SchedulerMode::kAsync;
+  EBV_REQUIRE(!(async && options_.combine_messages),
+              "the async scheduler cannot combine messages: combining "
+              "decisions depend on mailbox arrival order, which async "
+              "execution leaves unordered");
   const ClusterCostModel& cost = options_.cost_model;
 
   // --- Residency plan ---------------------------------------------------
@@ -128,6 +68,24 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
   if (k == 0 || k > p) k = p;
   const bool spilled = graph.spilled();
   const bool bounded = k < p;
+  const bool with_loads = spilled && bounded;
+  // Prefetch shrinks the residency groups to ⌊k/2⌋ so the loader task
+  // for group g+1 can run while group g computes, current + next group
+  // together still inside the budget. Legal because strict results are
+  // pinned bit-identical for every budget, hence for every grouping.
+  const bool prefetch = options_.prefetch && with_loads && k >= 2;
+  const PartitionId group_size =
+      bounded ? (prefetch ? std::max<PartitionId>(1, k / 2) : k) : p;
+  struct Group {
+    PartitionId first;
+    PartitionId last;
+  };
+  std::vector<Group> groups;
+  for (PartitionId g = 0; g < p; g += group_size) {
+    groups.push_back({g, std::min<PartitionId>(g + group_size, p)});
+  }
+  const std::size_t ng = groups.size();
+
   std::vector<std::unique_ptr<LocalSubgraph>> cache;
   if (spilled) cache.resize(p);
 
@@ -140,7 +98,7 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
     for (PartitionId i = first; i < last; ++i) {
       if (cache[i] == nullptr) {
         // An unbounded budget loads every worker once, CSRs included,
-        // and keeps it; a bounded one materialises per sweep.
+        // and keeps it; a bounded one materialises per phase.
         cache[i] = std::make_unique<LocalSubgraph>(
             graph.load_worker(i, with_csr || !bounded));
       }
@@ -151,16 +109,42 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
     for (PartitionId i = first; i < last; ++i) cache[i].reset();
   };
   /// Run `body(first, last)` over the residency groups in ascending
-  /// worker order — the global iteration order of every stage is
-  /// therefore identical to the all-resident single loop.
+  /// worker order (one-shot stages: value init and the final gather).
   auto for_each_group = [&](bool with_csr, auto&& body) {
-    for (PartitionId g = 0; g < p; g += k) {
-      const PartitionId last = std::min<PartitionId>(g + k, p);
-      ensure_loaded(g, last, with_csr);
-      body(g, last);
-      release(g, last);
+    for (const Group& grp : groups) {
+      ensure_loaded(grp.first, grp.last, with_csr);
+      body(grp.first, grp.last);
+      release(grp.first, grp.last);
     }
   };
+
+  // --- Communication topology ------------------------------------------
+  // senders_of[m] — workers that route mirror accumulators to master m;
+  // masters_of[i] — masters that broadcast into worker i. Both ascending.
+  // Derived once from the routing tables; these ARE the scheduler's
+  // cross-worker dependencies (the strict chains need only the maxima,
+  // the async mode the full peer sets).
+  std::vector<std::vector<PartitionId>> senders_of(p);
+  std::vector<std::vector<PartitionId>> masters_of(p);
+  {
+    std::vector<std::uint8_t> routes(static_cast<std::size_t>(p) * p, 0);
+    for (VertexId gv = 0; gv < graph.num_global_vertices(); ++gv) {
+      const auto parts = graph.parts_of(gv);
+      if (parts.size() < 2) continue;
+      const PartitionId m = graph.master_of(gv);
+      for (const PartitionId i : parts) {
+        if (i != m) routes[static_cast<std::size_t>(i) * p + m] = 1;
+      }
+    }
+    for (PartitionId i = 0; i < p; ++i) {
+      for (PartitionId m = 0; m < p; ++m) {
+        if (routes[static_cast<std::size_t>(i) * p + m] != 0) {
+          senders_of[m].push_back(i);
+          masters_of[i].push_back(m);
+        }
+      }
+    }
+  }
 
   // --- Per-worker state (resident regardless of the budget: O(Σ|Vi|),
   // the same order as the routing tables) ------------------------------
@@ -188,13 +172,13 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
   });
 
   // Mailboxes: to_master[j] / to_mirror[j] hold messages addressed to
-  // worker j, accumulated in ascending sender order (deterministic).
-  // File overflow engages only under a bounded budget with a spill
-  // directory; combining keeps the to-master boxes in memory (their
-  // pending messages must stay rewritable, and combining itself bounds
-  // them at one entry per replicated vertex).
-  std::vector<Mailbox> to_master(p);
-  std::vector<Mailbox> to_mirror(p);
+  // worker j. File overflow engages only under a bounded budget with a
+  // spill directory; combining keeps the to-master boxes in memory
+  // (their pending messages must stay rewritable, and combining itself
+  // bounds them at one entry per replicated vertex). The async mode arms
+  // the bounded ring channel as the concurrent push path.
+  std::vector<MsgBox> to_master(p);
+  std::vector<MsgBox> to_mirror(p);
   if (bounded && !options_.spill_dir.empty()) {
     const std::string prefix =
         options_.spill_dir + "/ebv-mbox." + process_unique_suffix() + ".";
@@ -207,6 +191,12 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
                              options_.mailbox_buffer_messages);
     }
   }
+  if (async) {
+    for (PartitionId j = 0; j < p; ++j) {
+      to_master[j].enable_channel(kChannelCapacity);
+      to_mirror[j].enable_channel(kChannelCapacity);
+    }
+  }
   // Combining state: pending[j] maps a global vertex to its message's
   // index in to_master[j]'s buffer for the current superstep.
   std::vector<std::unordered_map<VertexId, std::size_t>> pending(
@@ -214,21 +204,40 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
 
   // Program-defined per-worker scratch, persistent across supersteps.
   std::vector<std::any> worker_state(p);
+  // Staged master broadcasts: filled by merge(m), shipped by the strict
+  // broadcast chain (async ships inline and leaves these empty).
+  std::vector<std::vector<WireMessage>> bcast(p);
 
   RunStats stats;
   stats.messages_sent_per_worker.assign(p, 0);
   const std::optional<std::uint32_t> fixed = program.fixed_supersteps();
 
+  // Scheduler fan-out. The sequential policy runs each superstep's graph
+  // serially in deterministic topological order; kParallel runs it on a
+  // work-stealing team — the whole pool, or exactly num_threads when set.
+  unsigned team = 1;
+  if (options_.policy == ExecutionPolicy::kParallel) {
+    team = options_.num_threads > 0
+               ? static_cast<unsigned>(options_.num_threads)
+               : ThreadPool::global().num_threads();
+  }
+
   for (std::uint32_t step = 0; step < options_.max_supersteps; ++step) {
     std::vector<WorkerStepStats> step_stats(p);
+    // Per-sender counters, reduced after the graph drains. All are
+    // owner-indexed plain arrays ordered by task dependencies — except
+    // received, the one destination-indexed counter, which the async
+    // mode's concurrent routers bump atomically.
     std::vector<std::uint64_t> msgs_local(p, 0);
     std::vector<std::uint64_t> msgs_remote(p, 0);
+    std::vector<std::uint64_t> sent(p, 0);
+    std::vector<std::uint64_t> raw(p, 0);
+    std::vector<std::atomic<std::uint64_t>> received(p);
+    std::vector<std::uint8_t> changed(p, 0);
 
-    auto send = [&](PartitionId from, PartitionId to) {
-      ++stats.messages_sent_per_worker[from];
-      ++step_stats[from].messages_sent;
-      ++step_stats[to].messages_received;
-      ++stats.total_messages;
+    auto count_send = [&](PartitionId from, PartitionId to) {
+      ++sent[from];
+      received[to].fetch_add(1, std::memory_order_relaxed);
       if (cost.same_node(from, to)) {
         ++msgs_local[from];
       } else {
@@ -236,167 +245,276 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
       }
     };
 
-    bool any_change = false;
+    // --- Task bodies ---------------------------------------------------
+    // compute(i): the program's local compute plus the worker-local half
+    // of emission routing — single-copy vertices resolve in place.
+    auto compute_worker = [&](PartitionId i) {
+      const LocalSubgraph& ls = sub(i);
+      WorkerContext ctx(ls, values[i], acc[i], has_acc[i], emitted[i],
+                        program);
+      ctx.updated_ = &updated[i];
+      ctx.state_ = &worker_state[i];
+      program.compute(ctx, step);
+      step_stats[i].work_units = ctx.work_units();
+      step_stats[i].comp_seconds = cost.comp_seconds(ctx.work_units());
+      updated[i].clear();
+      for (const VertexId lv : emitted[i]) {
+        if (ls.is_replicated[lv] != 0) continue;
+        Value merged = acc[i][lv];
+        if (program.combine_with_current()) {
+          merged = program.combine(merged, values[i][lv]);
+        }
+        const Value next = program.apply(ls.global_ids[lv], merged);
+        if (std::isnan(next)) fail_nan(program, ls.global_ids[lv], step);
+        if (next != values[i][lv]) {
+          values[i][lv] = next;
+          updated[i].push_back(lv);
+          changed[i] = 1;
+        }
+        has_acc[i][lv] = 0;
+      }
+      // Master replicas keep has_acc set; consumed by merge(i).
+    };
 
-    // --- Sweep 1: computation + mirror routing (stage 2a) --------------
-    for_each_group(true, [&](PartitionId first, PartitionId last) {
-      // Workers only touch their own state, so the parallel policy runs
-      // the group on independent threads; results are identical either
-      // way. A non-zero options_.num_threads bounds the fan-out exactly
-      // (strided assignment keeps every rank's share deterministic,
-      // though results do not depend on the mapping).
-      auto run_worker = [&](PartitionId i) {
-        WorkerContext ctx(sub(i), values[i], acc[i], has_acc[i], emitted[i],
-                          program);
-        ctx.updated_ = &updated[i];
-        ctx.state_ = &worker_state[i];
-        program.compute(ctx, step);
-        step_stats[i].work_units = ctx.work_units();
-        step_stats[i].comp_seconds = cost.comp_seconds(ctx.work_units());
-        updated[i].clear();
-      };
-      const PartitionId group = last - first;
-      if (options_.policy == ExecutionPolicy::kParallel && group > 1) {
-        if (options_.num_threads > 0) {
-          const unsigned team = static_cast<unsigned>(
-              std::min<std::uint64_t>(options_.num_threads, group));
-          if (team <= 1) {
-            for (PartitionId i = first; i < last; ++i) run_worker(i);
-          } else {
-            ThreadPool::global().run_team(
-                team, [&](unsigned rank, unsigned t) {
-                  for (PartitionId i = first + rank; i < last; i += t) {
-                    run_worker(i);
-                  }
-                });
+    // route(i): ship mirror accumulators to their master parts. Strict
+    // mode runs these on an ascending ordering chain so every to-master
+    // mailbox sees the historical append order; async folds the routing
+    // into compute(i) and pushes through the concurrent path.
+    auto route_worker = [&](PartitionId i) {
+      const LocalSubgraph& ls = sub(i);
+      for (const VertexId lv : emitted[i]) {
+        if (ls.is_replicated[lv] == 0 || ls.is_master[lv] != 0) continue;
+        const PartitionId m = ls.master_part[lv];
+        const VertexId gv = ls.global_ids[lv];
+        ++raw[i];
+        bool enqueue = true;
+        if (options_.combine_messages) {
+          // A message for gv already pending at m? Merge into it.
+          const auto [it, inserted] =
+              pending[m].try_emplace(gv, to_master[m].buffer().size());
+          if (!inserted) {
+            WireMessage& msg = to_master[m].buffer()[it->second];
+            msg.value = program.combine(msg.value, acc[i][lv]);
+            enqueue = false;
           }
+        }
+        if (enqueue) {
+          if (async) {
+            to_master[m].push_concurrent({gv, acc[i][lv]});
+          } else {
+            to_master[m].push_serial({gv, acc[i][lv]});
+          }
+          count_send(i, m);
+        }
+        has_acc[i][lv] = 0;
+      }
+    };
+
+    // broadcast(m): ship the values staged by merge(m) to every mirror
+    // peer. Strict mode runs these on their own ascending chain, gated
+    // behind the route chain so the two never interleave counter writes.
+    auto broadcast_worker = [&](PartitionId m) {
+      for (const WireMessage& msg : bcast[m]) {
+        for (const PartitionId peer : graph.parts_of(msg.global)) {
+          if (peer == m) continue;
+          ++raw[m];
+          if (async) {
+            to_mirror[peer].push_concurrent(msg);
+          } else {
+            to_mirror[peer].push_serial(msg);
+          }
+          count_send(m, peer);
+        }
+      }
+      bcast[m].clear();
+    };
+
+    // merge(m): fold routed messages into the master's accumulators,
+    // apply, and stage broadcasts for changed values.
+    auto merge_worker = [&](PartitionId m) {
+      const LocalSubgraph& ls = sub(m);
+      to_master[m].drain([&](const WireMessage& msg) {
+        const VertexId lv = ls.local_of(msg.global);
+        EBV_ASSERT(lv != kInvalidVertex);
+        EBV_ASSERT(ls.is_master[lv] != 0);
+        if (has_acc[m][lv] != 0) {
+          acc[m][lv] = program.combine(acc[m][lv], msg.value);
         } else {
-          parallel_for(
-              group,
-              [&](std::size_t j) {
-                run_worker(first + static_cast<PartitionId>(j));
-              },
-              1);
+          acc[m][lv] = msg.value;
+          has_acc[m][lv] = 1;
+          emitted[m].push_back(lv);
         }
-      } else {
-        for (PartitionId i = first; i < last; ++i) run_worker(i);
-      }
+      });
+      if (options_.combine_messages) pending[m].clear();
 
-      // Stage 2a — route emissions: non-replicated vertices resolve
-      // locally; mirrors send their accumulator to the master part.
-      for (PartitionId i = first; i < last; ++i) {
-        const LocalSubgraph& ls = sub(i);
-        for (const VertexId lv : emitted[i]) {
-          if (ls.is_replicated[lv] == 0) {
-            // Single-copy vertex: resolve in place.
-            Value merged = acc[i][lv];
-            if (program.combine_with_current()) {
-              merged = program.combine(merged, values[i][lv]);
-            }
-            const Value next = program.apply(ls.global_ids[lv], merged);
-            if (next != values[i][lv]) {
-              values[i][lv] = next;
-              updated[i].push_back(lv);
-              any_change = true;
-            }
-            has_acc[i][lv] = 0;
-          } else if (ls.is_master[lv] == 0) {
-            // Mirror: ship the accumulator to the master part — unless a
-            // message for the same vertex is already pending there and
-            // combining is on, in which case merge into it.
-            const PartitionId m = ls.master_part[lv];
-            const VertexId gv = ls.global_ids[lv];
-            ++stats.raw_messages;
-            bool enqueue = true;
-            if (options_.combine_messages) {
-              const auto [it, inserted] =
-                  pending[m].try_emplace(gv, to_master[m].buffer().size());
-              if (!inserted) {
-                WireMessage& msg = to_master[m].buffer()[it->second];
-                msg.value = program.combine(msg.value, acc[i][lv]);
-                enqueue = false;
-              }
-            }
-            if (enqueue) {
-              to_master[m].push({gv, acc[i][lv]});
-              send(i, m);
-            }
-            has_acc[i][lv] = 0;
-          }
-          // Master replicas keep has_acc set; consumed in sweep 2.
+      for (const VertexId lv : emitted[m]) {
+        if (has_acc[m][lv] == 0) continue;  // already resolved in compute
+        if (ls.is_replicated[lv] == 0) continue;    // resolved in compute
+        if (ls.is_master[lv] == 0) continue;        // mirror: routed away
+        Value merged = acc[m][lv];
+        if (program.combine_with_current()) {
+          merged = program.combine(merged, values[m][lv]);
+        }
+        const Value next = program.apply(ls.global_ids[lv], merged);
+        if (std::isnan(next)) fail_nan(program, ls.global_ids[lv], step);
+        has_acc[m][lv] = 0;
+        if (next != values[m][lv]) {
+          values[m][lv] = next;
+          updated[m].push_back(lv);
+          changed[m] = 1;
+        }
+        if (next == last_sync[m][lv]) continue;  // mirrors are up to date
+        last_sync[m][lv] = next;
+        changed[m] = 1;
+        bcast[m].push_back({ls.global_ids[lv], next});
+      }
+      emitted[m].clear();
+      if (async) broadcast_worker(m);
+    };
+
+    // install(i): mirrors adopt broadcast values.
+    auto install_worker = [&](PartitionId i) {
+      const LocalSubgraph& ls = sub(i);
+      to_mirror[i].drain([&](const WireMessage& msg) {
+        const VertexId lv = ls.local_of(msg.global);
+        EBV_ASSERT(lv != kInvalidVertex);
+        last_sync[i][lv] = msg.value;
+        if (values[i][lv] != msg.value) {
+          values[i][lv] = msg.value;
+          updated[i].push_back(lv);
+          changed[i] = 1;
+        }
+      });
+      emitted[i].clear();  // all consumed (mirrors cleared acc in route)
+    };
+
+    // --- Superstep task graph ------------------------------------------
+    // Three phases (compute+route, merge+broadcast, install), each with
+    // optional per-group loader/release tasks. Loader chains L(g) ←
+    // {L(g-1), Rel(g-2)} keep at most two groups resident (double
+    // buffering); phase f+1's first load waits for phase f's last
+    // release, so the budget holds across phase boundaries too.
+    TaskGraph tg;
+    constexpr TaskGraph::TaskId kNone = TaskGraph::kNone;
+    std::vector<TaskGraph::TaskId> C(p), M(p), I(p);
+    std::vector<TaskGraph::TaskId> R(async ? 0 : p);
+    std::vector<TaskGraph::TaskId> B(async ? 0 : p);
+    std::vector<TaskGraph::TaskId> L1(ng, kNone), Rel1(ng, kNone);
+    std::vector<TaskGraph::TaskId> L2(ng, kNone), Rel2(ng, kNone);
+    std::vector<TaskGraph::TaskId> L3(ng, kNone), Rel3(ng, kNone);
+
+    // Phase 1: load(csr) → compute (+ local resolve) → route → release.
+    TaskGraph::TaskId prev_r = kNone;
+    for (std::size_t g = 0; g < ng; ++g) {
+      const Group grp = groups[g];
+      if (with_loads) {
+        L1[g] = tg.add(
+            [&, grp] { ensure_loaded(grp.first, grp.last, true); },
+            {g > 0 ? L1[g - 1] : kNone, g >= 2 ? Rel1[g - 2] : kNone});
+      }
+      for (PartitionId i = grp.first; i < grp.last; ++i) {
+        C[i] = tg.add(
+            [&, i] {
+              compute_worker(i);
+              if (async) route_worker(i);
+            },
+            {L1[g]});
+        if (!async) {
+          R[i] = tg.add([&, i] { route_worker(i); }, {C[i], prev_r});
+          prev_r = R[i];
         }
       }
-    });
-
-    // --- Sweep 2: masters merge local + received accumulators, apply,
-    // and broadcast changed values to every mirror part (stage 2b) ------
-    for_each_group(false, [&](PartitionId first, PartitionId last) {
-      for (PartitionId m = first; m < last; ++m) {
-        const LocalSubgraph& ls = sub(m);
-        // Fold received messages into the master's accumulator.
-        to_master[m].drain([&](const WireMessage& msg) {
-          const VertexId lv = ls.local_of(msg.global);
-          EBV_ASSERT(lv != kInvalidVertex);
-          EBV_ASSERT(ls.is_master[lv] != 0);
-          if (has_acc[m][lv] != 0) {
-            acc[m][lv] = program.combine(acc[m][lv], msg.value);
-          } else {
-            acc[m][lv] = msg.value;
-            has_acc[m][lv] = 1;
-            emitted[m].push_back(lv);
-          }
-        });
-        if (options_.combine_messages) pending[m].clear();
-
-        for (const VertexId lv : emitted[m]) {
-          if (has_acc[m][lv] == 0) continue;  // already resolved in 2a
-          if (ls.is_replicated[lv] != 0 && ls.is_master[lv] == 0) continue;
-          if (ls.is_replicated[lv] == 0) continue;  // resolved in 2a
-          Value merged = acc[m][lv];
-          if (program.combine_with_current()) {
-            merged = program.combine(merged, values[m][lv]);
-          }
-          const Value next = program.apply(ls.global_ids[lv], merged);
-          has_acc[m][lv] = 0;
-          if (next != values[m][lv]) {
-            values[m][lv] = next;
-            updated[m].push_back(lv);
-            any_change = true;
-          }
-          if (next == last_sync[m][lv]) continue;  // mirrors are up to date
-          last_sync[m][lv] = next;
-          any_change = true;
-          const VertexId gv = ls.global_ids[lv];
-          for (const PartitionId peer : graph.parts_of(gv)) {
-            if (peer == m) continue;
-            ++stats.raw_messages;
-            to_mirror[peer].push({gv, next});
-            send(m, peer);
-          }
+      if (with_loads) {
+        Rel1[g] = tg.add([&, grp] { release(grp.first, grp.last); });
+        for (PartitionId i = grp.first; i < grp.last; ++i) {
+          tg.depend(Rel1[g], async ? C[i] : R[i]);
         }
-        emitted[m].clear();
       }
-    });
+    }
 
-    // --- Sweep 3: mirrors install broadcast values (stage 2c) ----------
-    for_each_group(false, [&](PartitionId first, PartitionId last) {
-      for (PartitionId i = first; i < last; ++i) {
-        const LocalSubgraph& ls = sub(i);
-        to_mirror[i].drain([&](const WireMessage& msg) {
-          const VertexId lv = ls.local_of(msg.global);
-          EBV_ASSERT(lv != kInvalidVertex);
-          last_sync[i][lv] = msg.value;
-          if (values[i][lv] != msg.value) {
-            values[i][lv] = msg.value;
-            updated[i].push_back(lv);
-            any_change = true;
-          }
-        });
-        emitted[i].clear();  // all consumed (mirrors cleared acc in 2a)
+    // Phase 2: load → merge (+ async broadcast) → release; strict
+    // broadcast chain gated behind the full route chain.
+    for (std::size_t g = 0; g < ng; ++g) {
+      const Group grp = groups[g];
+      if (with_loads) {
+        L2[g] = tg.add(
+            [&, grp] { ensure_loaded(grp.first, grp.last, false); },
+            {g > 0 ? L2[g - 1] : Rel1[ng - 1],
+             g >= 2 ? Rel2[g - 2] : kNone});
       }
-    });
+      for (PartitionId m = grp.first; m < grp.last; ++m) {
+        M[m] = tg.add([&, m] { merge_worker(m); }, {L2[g]});
+        if (async) {
+          tg.depend(M[m], C[m]);
+          for (const PartitionId s : senders_of[m]) tg.depend(M[m], C[s]);
+        } else {
+          // Senders never exceed max(m, last sender), and the route
+          // chain is ascending, so one dependency covers them all (plus
+          // compute(m)'s own state, via R(m) ⊆ the chain).
+          tg.depend(M[m], senders_of[m].empty()
+                              ? R[m]
+                              : R[std::max(m, senders_of[m].back())]);
+        }
+      }
+      if (with_loads) {
+        Rel2[g] = tg.add([&, grp] { release(grp.first, grp.last); });
+        for (PartitionId m = grp.first; m < grp.last; ++m) {
+          tg.depend(Rel2[g], M[m]);
+        }
+      }
+    }
+    if (!async) {
+      // broadcast(m) reads only bcast[m] and graph-level routing tables,
+      // so it needs no residency; B(0) waits for the whole route chain
+      // so the two serial chains never interleave.
+      TaskGraph::TaskId prev_b = R[p - 1];
+      for (PartitionId m = 0; m < p; ++m) {
+        B[m] = tg.add([&, m] { broadcast_worker(m); }, {M[m], prev_b});
+        prev_b = B[m];
+      }
+    }
 
-    // --- Stage 3: synchronisation (accounting) ---------------------------
+    // Phase 3: load → install → release.
+    for (std::size_t g = 0; g < ng; ++g) {
+      const Group grp = groups[g];
+      if (with_loads) {
+        L3[g] = tg.add(
+            [&, grp] { ensure_loaded(grp.first, grp.last, false); },
+            {g > 0 ? L3[g - 1] : Rel2[ng - 1],
+             g >= 2 ? Rel3[g - 2] : kNone});
+      }
+      for (PartitionId i = grp.first; i < grp.last; ++i) {
+        I[i] = tg.add([&, i] { install_worker(i); }, {L3[g]});
+        if (async) {
+          tg.depend(I[i], M[i]);
+          for (const PartitionId m2 : masters_of[i]) tg.depend(I[i], M[m2]);
+        } else {
+          tg.depend(I[i], masters_of[i].empty()
+                              ? B[i]
+                              : B[std::max(i, masters_of[i].back())]);
+        }
+      }
+      if (with_loads) {
+        Rel3[g] = tg.add([&, grp] { release(grp.first, grp.last); });
+        for (PartitionId i = grp.first; i < grp.last; ++i) {
+          tg.depend(Rel3[g], I[i]);
+        }
+      }
+    }
+
+    tg.run(team);
+
+    // --- Stage 3: synchronisation (reduction + accounting) --------------
+    bool any_change = false;
+    for (PartitionId i = 0; i < p; ++i) {
+      if (changed[i] != 0) any_change = true;
+      step_stats[i].messages_sent = sent[i];
+      step_stats[i].messages_received =
+          received[i].load(std::memory_order_relaxed);
+      stats.messages_sent_per_worker[i] += sent[i];
+      stats.total_messages += sent[i];
+      stats.raw_messages += raw[i];
+    }
     double step_max = 0.0;
     double step_min = std::numeric_limits<double>::infinity();
     for (PartitionId i = 0; i < p; ++i) {

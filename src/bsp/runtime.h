@@ -16,10 +16,17 @@
 //
 // Residency: with RunOptions::resident_workers = k < p the runtime holds
 // at most k materialised worker subgraphs at a time (loading them from a
-// spilled DistributedGraph's EBVW snapshot), executing each superstep as
-// three group sweeps and parking inter-group messages in spillable
-// mailboxes — same results, bounded memory (docs/ARCHITECTURE.md,
-// "Worker-spill execution").
+// spilled DistributedGraph's EBVW snapshot), parking inter-group messages
+// in spillable mailboxes — same results, bounded memory.
+//
+// Scheduling: each superstep is a per-worker task graph — compute+route,
+// master-merge, mirror-install, plus loader/release tasks that prefetch
+// the next residency group while the current one computes — executed by
+// a work-stealing scheduler (common/task_graph.h). The default strict
+// mode serialises mailbox appends on deterministic ordering chains, so
+// supersteps, messages, values and virtual time are bit-identical to the
+// historical three-sweep schedule at every budget; the opt-in async mode
+// relaxes the ordering (docs/ARCHITECTURE.md, "Task-graph scheduler").
 #pragma once
 
 #include <any>
@@ -120,23 +127,56 @@ struct RunStats {
 /// on multi-core hosts.
 enum class ExecutionPolicy { kSequential, kParallel };
 
+/// How the superstep task graph orders communication.
+enum class SchedulerMode {
+  /// Mirror routing and master broadcasts run on deterministic ordering
+  /// chains (ascending worker id), so every mailbox's append order — and
+  /// therefore the master's fold order — matches the historical sweep
+  /// schedule exactly. Results are bit-identical at every residency
+  /// budget and thread count. The default.
+  kStrict,
+  /// Relaxed ordering: routing, merges and installs run concurrently,
+  /// with dependencies derived from the routing tables (a master merges
+  /// once all its senders routed; a mirror installs once all its masters
+  /// merged), so no message is lost or deferred — the relaxation is the
+  /// ARRIVAL ORDER within a mailbox, not delivery. Superstep counts,
+  /// message counts and virtual time are unchanged; programs whose
+  /// combine() is order-insensitive over doubles (min/max: CC, SSSP,
+  /// BFS) produce bit-identical values, while float sums (PageRank) may
+  /// differ in final bits. Rejected with combine_messages (combining
+  /// decisions depend on arrival order).
+  kAsync,
+};
+
 /// Runtime options.
 struct RunOptions {
   ClusterCostModel cost_model;
   /// Hard cap to guard against non-converging programs.
   std::uint32_t max_supersteps = 10'000;
   ExecutionPolicy policy = ExecutionPolicy::kSequential;
-  /// Upper bound on the kParallel computation stage's fan-out (same rule
-  /// as PartitionConfig::num_threads: the knob bounds the stage exactly,
+  /// Upper bound on the kParallel task-graph team size (same rule as
+  /// PartitionConfig::num_threads: the knob bounds the fan-out exactly,
   /// the shared pool only carries the ranks). 0 = use the whole pool.
   std::uint32_t num_threads = 0;
+  /// Superstep ordering; see SchedulerMode. Results under kStrict (the
+  /// default) are independent of policy/num_threads/prefetch.
+  SchedulerMode scheduler = SchedulerMode::kStrict;
+  /// Under a bounded residency budget of k >= 2, shrink the residency
+  /// groups to ⌊k/2⌋ so a loader task maps group g+1's EBVW sections
+  /// while group g computes — double buffering, with current + next
+  /// group together still inside the budget. Results are bit-identical
+  /// either way: the strict contract holds for every budget, hence for
+  /// every grouping; the knob only trades group granularity for
+  /// compute/I-O overlap.
+  bool prefetch = true;
 
   /// Residency budget: at most this many workers' subgraphs materialised
   /// at a time. 0 (or >= p) keeps everything resident — the exact
-  /// pre-existing behaviour. With a budget of k < p each superstep runs
-  /// as three sweeps over ⌈p/k⌉ worker groups (compute+route, master
-  /// merge, mirror install), with inter-group messages parked in
-  /// mailboxes until the destination becomes resident. Supersteps,
+  /// pre-existing behaviour. With a budget of k < p each superstep's
+  /// task graph gates compute/merge/install tasks on per-group loader
+  /// and release tasks (at most k workers materialised; see prefetch),
+  /// with inter-group messages parked in mailboxes until the
+  /// destination becomes resident. Supersteps,
   /// message counts, final values and virtual-time accounting are
   /// BIT-IDENTICAL for every budget. Only a spilled DistributedGraph
   /// actually frees memory; a resident one just runs the same schedule.

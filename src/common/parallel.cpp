@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
+#include <iostream>
 #include <mutex>
 #include <vector>
 
@@ -266,6 +267,23 @@ bool ThreadPool::set_global_threads(unsigned num_threads) {
   }
   g_requested_global_threads.store(num_threads, std::memory_order_release);
   return true;
+}
+
+bool request_global_threads(unsigned num_threads) {
+  return request_global_threads(num_threads, std::cerr);
+}
+
+bool request_global_threads(unsigned num_threads, std::ostream& warn) {
+  if (ThreadPool::set_global_threads(num_threads)) return true;
+  if (num_threads == 0) {
+    warn << "warning: --threads 0 is not a valid pool size; keeping "
+         << ThreadPool::global().num_threads() << " thread(s)\n";
+  } else {
+    warn << "warning: thread pool already running with "
+         << ThreadPool::global().num_threads() << " thread(s); --threads "
+         << num_threads << " ignored\n";
+  }
+  return false;
 }
 
 }  // namespace ebv

@@ -32,12 +32,23 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <thread>
 
 namespace ebv {
 
 /// max(1, std::thread::hardware_concurrency()).
 unsigned hardware_threads();
+
+/// ThreadPool::set_global_threads with a diagnostic instead of a silent
+/// no-op: when the request cannot be honoured (the pool is already
+/// running at a different size, or num_threads is 0) a warning naming
+/// both sizes is written to `warn` (default std::cerr). Front ends that
+/// surface a --threads knob must use this — set_global_threads's false
+/// return being dropped is how the knob silently died once. Returns
+/// whether the request is honoured.
+bool request_global_threads(unsigned num_threads);
+bool request_global_threads(unsigned num_threads, std::ostream& warn);
 
 /// Sense-reversing spin barrier for run_team() ranks. Spins with
 /// this_thread::yield so oversubscribed hosts still make progress.

@@ -1,0 +1,154 @@
+#include "common/task_graph.h"
+
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "common/assert.h"
+#include "common/parallel.h"
+
+namespace ebv {
+
+TaskGraph::TaskId TaskGraph::add(std::function<void()> fn) {
+  EBV_REQUIRE(!ran_, "TaskGraph is single-shot: add after run");
+  EBV_REQUIRE(tasks_.size() < kNone, "too many tasks");
+  tasks_.push_back(Task{std::move(fn), {}, 0});
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+TaskGraph::TaskId TaskGraph::add(std::function<void()> fn,
+                                 std::initializer_list<TaskId> deps) {
+  const TaskId id = add(std::move(fn));
+  for (const TaskId on : deps) depend(id, on);
+  return id;
+}
+
+void TaskGraph::depend(TaskId task, TaskId on) {
+  if (on == kNone) return;
+  EBV_REQUIRE(task < tasks_.size() && on < tasks_.size(),
+              "TaskGraph::depend: unknown task id");
+  EBV_REQUIRE(task != on, "TaskGraph::depend: self-dependency");
+  tasks_[on].dependents.push_back(task);
+  ++tasks_[task].num_deps;
+}
+
+void TaskGraph::run(unsigned team_size) {
+  EBV_REQUIRE(!ran_, "TaskGraph is single-shot: run called twice");
+  ran_ = true;
+  const std::size_t n = tasks_.size();
+  if (n == 0) return;
+
+  // Kahn pre-pass: cycle detection for every mode, and the execution
+  // order for the serial one. FIFO over ready ids — deterministic.
+  std::vector<TaskId> order;
+  {
+    order.reserve(n);
+    std::vector<std::uint32_t> pending(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      pending[t] = tasks_[t].num_deps;
+      if (pending[t] == 0) order.push_back(static_cast<TaskId>(t));
+    }
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      for (const TaskId d : tasks_[order[head]].dependents) {
+        if (--pending[d] == 0) order.push_back(d);
+      }
+    }
+    if (order.size() != n) {
+      throw std::logic_error("TaskGraph: dependency cycle");
+    }
+  }
+
+  const unsigned team = team_size > 0 ? team_size : 1;
+  if (team == 1 || ThreadPool::inside_pool_body()) {
+    std::exception_ptr error;
+    for (const TaskId t : order) {
+      if (error) continue;  // skip bodies after a failure, like parallel mode
+      try {
+        tasks_[t].fn();
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  // --- Work-stealing execution -----------------------------------------
+  struct Rank {
+    std::mutex mu;
+    std::deque<TaskId> dq;
+  };
+  const std::unique_ptr<Rank[]> ranks(new Rank[team]);
+  std::vector<std::atomic<std::uint32_t>> pending(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    pending[t].store(tasks_[t].num_deps, std::memory_order_relaxed);
+  }
+  // Seed the initially-ready tasks round-robin so every rank starts warm.
+  {
+    unsigned r = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (tasks_[t].num_deps == 0) {
+        ranks[r % team].dq.push_back(static_cast<TaskId>(t));
+        ++r;
+      }
+    }
+  }
+
+  std::atomic<std::size_t> remaining{n};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+
+  ThreadPool::global().run_team(team, [&](unsigned rank, unsigned t_size) {
+    while (remaining.load(std::memory_order_acquire) > 0) {
+      TaskId task = kNone;
+      {
+        // Own deque: newest first (LIFO) — dependents just pushed are
+        // the hottest work.
+        std::lock_guard lock(ranks[rank].mu);
+        if (!ranks[rank].dq.empty()) {
+          task = ranks[rank].dq.back();
+          ranks[rank].dq.pop_back();
+        }
+      }
+      for (unsigned off = 1; task == kNone && off < t_size; ++off) {
+        // Steal the victim's oldest entry — the end the owner isn't on.
+        Rank& victim = ranks[(rank + off) % t_size];
+        std::lock_guard lock(victim.mu);
+        if (!victim.dq.empty()) {
+          task = victim.dq.front();
+          victim.dq.pop_front();
+        }
+      }
+      if (task == kNone) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (!failed.load(std::memory_order_relaxed)) {
+        try {
+          tasks_[task].fn();
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          std::lock_guard lock(error_mu);
+          if (!error) error = std::current_exception();
+        }
+      }
+      // Release dependents. acq_rel on the counter publishes everything
+      // this task wrote to whoever runs the dependent.
+      for (const TaskId d : tasks_[task].dependents) {
+        if (pending[d].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard lock(ranks[rank].mu);
+          ranks[rank].dq.push_back(d);
+        }
+      }
+      remaining.fetch_sub(1, std::memory_order_release);
+    }
+  });
+
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace ebv

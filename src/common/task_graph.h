@@ -1,0 +1,155 @@
+// Static task-graph execution with work stealing, plus the bounded
+// channel used for producer→consumer backpressure.
+//
+// TaskGraph is a single-shot DAG of std::function tasks with explicit
+// dependencies. run(team) executes it on ThreadPool::run_team ranks:
+// each rank owns a deque of ready tasks — the owner pushes and pops at
+// the back (LIFO, cache-warm), idle ranks steal from the front (the
+// oldest entry, GMP/csp run-queue style), and a task that completes
+// pushes its newly-ready dependents onto the completing rank's deque.
+// Dependency release uses an acq_rel counter, so everything a task wrote
+// happens-before every dependent — per-task-private data needs no other
+// synchronisation (this is what lets the BSP runtime keep plain,
+// non-atomic per-worker counters under a parallel schedule).
+//
+// run(1) — and run() from inside a pool body, where nested parallelism
+// would degrade anyway — executes the tasks serially in deterministic
+// Kahn order (ready tasks in FIFO id order). A cycle is detected up
+// front and reported as std::logic_error before any task runs. If a
+// task throws, remaining task bodies are skipped (dependency release
+// still drains the graph) and the first exception is rethrown.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace ebv {
+
+class TaskGraph {
+ public:
+  using TaskId = std::uint32_t;
+  /// Sentinel accepted (and ignored) wherever a dependency is expected —
+  /// lets callers write optional dependencies inline:
+  ///   g.add(fn, {i > 0 ? prev : TaskGraph::kNone});
+  static constexpr TaskId kNone = 0xFFFFFFFFu;
+
+  /// Register a task. Returned ids are dense and ascending.
+  TaskId add(std::function<void()> fn);
+  TaskId add(std::function<void()> fn, std::initializer_list<TaskId> deps);
+
+  /// `task` will not start until `on` completed. `on == kNone` is a
+  /// no-op. Adding the same edge twice is allowed (counted twice,
+  /// released twice — harmless but wasteful).
+  void depend(TaskId task, TaskId on);
+
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+
+  /// Execute the whole graph; returns when every task completed.
+  /// Single-shot: a TaskGraph can be run once. team_size <= 1 (or a
+  /// nested-pool caller) runs serially in deterministic topological
+  /// order; larger teams run on ThreadPool::global().run_team with work
+  /// stealing. Throws std::logic_error on a dependency cycle.
+  void run(unsigned team_size);
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    std::vector<TaskId> dependents;
+    std::uint32_t num_deps = 0;
+  };
+
+  std::vector<Task> tasks_;
+  bool ran_ = false;
+};
+
+/// Bounded multi-producer ring channel (mutex + condition variables).
+/// push() blocks while full — backpressure; try_push()/try_pop() never
+/// block, which is what a task scheduled on a finite pool must use (a
+/// task that blocks on channel state occupies its executor, and a full
+/// complement of blocked tasks deadlocks the pool — see
+/// docs/ARCHITECTURE.md, "Task-graph scheduler"). close() wakes all
+/// waiters; pop() returns nullopt once the channel is closed and empty.
+template <typename T>
+class BoundedChannel {
+ public:
+  explicit BoundedChannel(std::size_t capacity)
+      : buf_(capacity > 0 ? capacity : 1) {}
+
+  /// False when full or closed; never blocks.
+  bool try_push(const T& v) {
+    std::lock_guard lock(mu_);
+    if (closed_ || size_ == buf_.size()) return false;
+    buf_[(head_ + size_) % buf_.size()] = v;
+    ++size_;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while full; false when the channel is (or becomes) closed.
+  bool push(const T& v) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || size_ < buf_.size(); });
+    if (closed_) return false;
+    buf_[(head_ + size_) % buf_.size()] = v;
+    ++size_;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// False when empty; never blocks.
+  bool try_pop(T& out) {
+    std::lock_guard lock(mu_);
+    if (size_ == 0) return false;
+    out = buf_[head_];
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives; nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return std::nullopt;
+    T out = buf_[head_];
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    not_full_.notify_one();
+    return out;
+  }
+
+  void close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return size_;
+  }
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ebv

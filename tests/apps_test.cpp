@@ -131,6 +131,38 @@ TEST(Apps, PageRankMassIsBoundedWithoutDanglingRedistribution) {
   EXPECT_GT(total, 0.1);
 }
 
+TEST(Apps, PageRankSinkGraphPinsDanglingMassLoss) {
+  // Explicit-sink pin of the documented deviation (src/apps/pagerank.h):
+  // dangling mass is dropped, not redistributed. A 4-chain into sink 3
+  // (plus a 0↔1 back edge so iteration keeps circulating mass) must lose
+  // exactly the sink's damped mass each round — checked against the
+  // reference implementation, which drops the same mass.
+  const Graph g(4, {{0, 1}, {1, 0}, {1, 2}, {2, 3}});  // 3 is a sink
+  PartitionConfig c;
+  c.num_parts = 2;
+  const DistributedGraph dist(g, make_partitioner("hash")->partition(g, c));
+
+  const auto expected_short = apps::pagerank_reference(g, 5);
+  const auto run_short =
+      BspRuntime().run(dist, apps::PageRank(g.num_vertices(), 5));
+  const auto expected_long = apps::pagerank_reference(g, 10);
+  const auto run_long =
+      BspRuntime().run(dist, apps::PageRank(g.num_vertices(), 10));
+  double bsp_short = 0.0;
+  double bsp_long = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(run_short.values[v], expected_short[v], 1e-9) << "v=" << v;
+    EXPECT_NEAR(run_long.values[v], expected_long[v], 1e-9) << "v=" << v;
+    bsp_short += run_short.values[v];
+    bsp_long += run_long.values[v];
+  }
+  // The deviation itself: Σ rank < 1 and still shrinking with more
+  // iterations. If someone adds dangling redistribution, this pin (and
+  // the header note) must change together.
+  EXPECT_LT(bsp_short, 1.0 - 1e-3);
+  EXPECT_LT(bsp_long, bsp_short - 1e-4);
+}
+
 TEST(Apps, PageRankRunsExactlyConfiguredSupersteps) {
   const Graph g = gen::erdos_renyi(100, 600, 8);
   PartitionConfig c;

@@ -1,9 +1,21 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "bsp/cost_model.h"
 
 namespace ebv::bsp {
 namespace {
+
+TEST(CostModel, ZeroWorkersPerNodeIsRejected) {
+  // workers_per_node = 0 would be integer-division UB in same_node();
+  // validate() (called at BspRuntime::run entry) must reject it.
+  ClusterCostModel m;
+  m.workers_per_node = 0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.workers_per_node = 1;
+  EXPECT_NO_THROW(m.validate());
+}
 
 TEST(CostModel, NodePlacementIsContiguous) {
   ClusterCostModel m;

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
@@ -115,6 +116,26 @@ TEST(RunTeam, PropagatesException) {
                      if (rank == 2) throw std::invalid_argument("rank 2");
                    }),
                std::invalid_argument);
+}
+
+TEST(RequestGlobalThreads, WarnsWhenTheKnobCannotApply) {
+  // --threads used to be silently ignored once the pool existed; the
+  // request_ wrapper must say so. Force the pool into existence first.
+  parallel_for(10, [](std::size_t) {});
+  const unsigned current = ThreadPool::global().num_threads();
+
+  std::ostringstream warn;
+  EXPECT_TRUE(request_global_threads(current, warn))
+      << "matching size is always accepted";
+  EXPECT_TRUE(warn.str().empty()) << warn.str();
+
+  std::ostringstream warn2;
+  EXPECT_FALSE(request_global_threads(current + 1, warn2));
+  EXPECT_NE(warn2.str().find("ignored"), std::string::npos) << warn2.str();
+
+  std::ostringstream warn3;
+  EXPECT_FALSE(request_global_threads(0, warn3));
+  EXPECT_FALSE(warn3.str().empty()) << "zero threads must be called out";
 }
 
 TEST(EdgeOrder, ParallelSortMatchesSerial) {

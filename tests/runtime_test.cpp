@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <stdexcept>
 
 #include "bsp/runtime.h"
 #include "graph/generators.h"
@@ -81,6 +82,24 @@ class FixedRounds final : public bsp::SubgraphProgram {
 
  private:
   std::uint32_t rounds_;
+};
+
+/// Emits a NaN on the first superstep — the halting-hazard regression
+/// program (NaN != NaN would otherwise burn max_supersteps).
+class NanEmitter final : public bsp::SubgraphProgram {
+ public:
+  [[nodiscard]] std::string name() const override { return "nan"; }
+  [[nodiscard]] Value init_value(VertexId) const override { return 0.0; }
+  [[nodiscard]] Value combine(Value a, Value b) const override {
+    return a + b;
+  }
+  void compute(WorkerContext& ctx, std::uint32_t superstep) const override {
+    if (superstep > 0) return;
+    const auto& ls = ctx.local();
+    for (VertexId v = 0; v < ls.num_vertices(); ++v) {
+      ctx.emit(v, std::numeric_limits<Value>::quiet_NaN());
+    }
+  }
 };
 
 TEST(Runtime, SingleWorkerProducesNoMessages) {
@@ -252,6 +271,67 @@ TEST(Runtime, UncoveredVerticesKeepInitValue) {
   const DistributedGraph dist(g, part);
   const RunStats stats = BspRuntime().run(dist, MaxOneHop());
   EXPECT_EQ(stats.values[5], 5.0);
+}
+
+TEST(Runtime, NanProducingProgramFailsFast) {
+  // A NaN apply() result makes `next != value` true in every superstep
+  // (NaN never compares equal), so the change-driven halting test could
+  // never converge. The runtime must detect it and throw immediately —
+  // on both the single-copy and the master-merge apply paths, at any
+  // residency budget.
+  const Graph g = gen::erdos_renyi(60, 300, 11);
+  const DistributedGraph dist(g, round_robin(g, 3));
+  EXPECT_THROW(BspRuntime().run(dist, NanEmitter()), std::runtime_error);
+
+  bsp::RunOptions bounded;
+  bounded.resident_workers = 1;
+  EXPECT_THROW(BspRuntime(bounded).run(dist, NanEmitter()),
+               std::runtime_error);
+}
+
+TEST(Runtime, ZeroWorkersPerNodeIsRejectedAtRunEntry) {
+  // workers_per_node = 0 would be integer-division UB inside
+  // same_node(); the runtime validates the cost model up front.
+  const Graph g = gen::erdos_renyi(20, 80, 12);
+  const DistributedGraph dist(g, round_robin(g, 2));
+  bsp::RunOptions opts;
+  opts.cost_model.workers_per_node = 0;
+  EXPECT_THROW(BspRuntime(opts).run(dist, MaxOneHop()),
+               std::invalid_argument);
+}
+
+TEST(Runtime, AsyncRejectsCombining) {
+  const Graph g = gen::erdos_renyi(20, 80, 13);
+  const DistributedGraph dist(g, round_robin(g, 2));
+  bsp::RunOptions opts;
+  opts.scheduler = bsp::SchedulerMode::kAsync;
+  opts.combine_messages = true;
+  EXPECT_THROW(BspRuntime(opts).run(dist, MaxOneHop()),
+               std::invalid_argument);
+}
+
+TEST(Runtime, AsyncMatchesStrictExactlyForMaxCombine) {
+  // The async scheduler relaxes mailbox arrival order, not delivery, so
+  // an order-insensitive combine (max) must reproduce the strict run
+  // bit-for-bit: values, message counts, supersteps AND virtual time —
+  // sequentially and on a work-stealing team.
+  const Graph g = gen::chung_lu(400, 3000, 2.3, false, 21);
+  const DistributedGraph dist(g, round_robin(g, 6));
+  const RunStats strict = BspRuntime().run(dist, MaxOneHop());
+
+  for (const auto policy :
+       {bsp::ExecutionPolicy::kSequential, bsp::ExecutionPolicy::kParallel}) {
+    bsp::RunOptions opts;
+    opts.scheduler = bsp::SchedulerMode::kAsync;
+    opts.policy = policy;
+    const RunStats async = BspRuntime(opts).run(dist, MaxOneHop());
+    EXPECT_EQ(async.supersteps, strict.supersteps);
+    EXPECT_EQ(async.total_messages, strict.total_messages);
+    EXPECT_EQ(async.raw_messages, strict.raw_messages);
+    EXPECT_EQ(async.values, strict.values);
+    EXPECT_EQ(async.execution_seconds, strict.execution_seconds);
+    EXPECT_EQ(async.messages_sent_per_worker, strict.messages_sent_per_worker);
+  }
 }
 
 }  // namespace

@@ -109,7 +109,7 @@ int cmd_convert(const ArgMap& args) {
   options.num_threads =
       static_cast<std::uint32_t>(get_uint(args, "threads", "1", kU32Max));
   if (options.num_threads > 1) {
-    ThreadPool::set_global_threads(options.num_threads);
+    request_global_threads(options.num_threads);
   }
   options.deduplicate = get(args, "dedup", "0") != "0";
   options.remove_self_loops = get(args, "keep-self-loops", "0") == "0";
@@ -206,7 +206,7 @@ int cmd_partition(const ArgMap& args) {
   // Size the shared pool to the requested team so the ranks run on
   // resident workers instead of per-call temporary threads.
   if (config.num_threads > 1) {
-    ThreadPool::set_global_threads(config.num_threads);
+    request_global_threads(config.num_threads);
   }
   const std::string order = get(args, "order", "sorted");
   if (order == "sorted") {
@@ -280,10 +280,24 @@ int cmd_run(const ArgMap& args) {
   const auto threads =
       static_cast<std::uint32_t>(get_uint(args, "threads", "1", kU32Max));
   if (threads > 1) {
-    ThreadPool::set_global_threads(threads);
+    // Warns on stderr when the pool already runs at a different size —
+    // RunOptions::num_threads still bounds the fan-out exactly (run_team
+    // carries extra ranks on temporary threads), so the knob holds either
+    // way; the warning just surfaces the pool mismatch.
+    request_global_threads(threads);
     options.policy = bsp::ExecutionPolicy::kParallel;
     options.num_threads = threads;
   }
+
+  // --async 1 opts into the relaxed task-graph scheduler: routing, merges
+  // and installs run concurrently with dependencies from the routing
+  // tables. Exact for min/max-combine programs (cc, sssp); pr may differ
+  // in final float bits (fold order). --prefetch 0 disables the
+  // double-buffered group loader under a bounded residency budget.
+  if (get(args, "async", "0") != "0") {
+    options.scheduler = bsp::SchedulerMode::kAsync;
+  }
+  options.prefetch = get(args, "prefetch", "1") != "0";
 
   // --resident-workers K bounds how many worker subgraphs are materialised
   // at a time; a binding budget (0 < K < parts) spills the per-worker
@@ -372,6 +386,7 @@ void print_usage(std::ostream& out) {
          "            --app cc|pr|sssp [--threads T]\n"
          "            (--partition p.ebvp | [--algo ebv] [--parts 8])\n"
          "            [--resident-workers K] [--spill-dir DIR] [--combine 0|1]\n"
+         "            [--async 0|1] [--prefetch 0|1]\n"
          "\n"
          "--mmap maps an EBVS snapshot read-only and streams partitioning —\n"
          "and, for run, distributed-graph construction and the BSP\n"
@@ -379,8 +394,9 @@ void print_usage(std::ostream& out) {
          "--graph on the same snapshot).\n"
          "--resident-workers K spills the per-worker subgraphs to an EBVW\n"
          "snapshot (in --spill-dir, default the system temp dir) and keeps\n"
-         "at most K of them materialised per superstep sweep — same output,\n"
-         "bounded subgraph residency (0 = all resident).\n"
+         "at most K of them materialised at a time — same output, bounded\n"
+         "subgraph residency (0 = all resident); with K >= 2 the scheduler\n"
+         "prefetches the next group while the current one computes.\n"
          "Formats: docs/FORMATS.md; full flag reference: docs/CLI.md.\n";
 }
 
