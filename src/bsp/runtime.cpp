@@ -89,6 +89,14 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
   std::vector<std::unique_ptr<LocalSubgraph>> cache;
   if (spilled) cache.resize(p);
 
+  // Observed-residency accounting: every materialisation/release of a
+  // worker subgraph moves resident_now, and resident_peak records the
+  // high-water mark. A loader and a (different group's) release task can
+  // run concurrently under prefetch, hence atomics. Reported via
+  // RunStats::peak_resident_workers and pinned <= k by tests.
+  std::atomic<std::uint32_t> resident_now{0};
+  std::atomic<std::uint32_t> resident_peak{0};
+
   auto sub = [&](PartitionId i) -> const LocalSubgraph& {
     return spilled ? *cache[i] : graph.local(i);
   };
@@ -101,12 +109,24 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
         // and keeps it; a bounded one materialises per phase.
         cache[i] = std::make_unique<LocalSubgraph>(
             graph.load_worker(i, with_csr || !bounded));
+        const std::uint32_t now =
+            1 + resident_now.fetch_add(1, std::memory_order_relaxed);
+        std::uint32_t peak = resident_peak.load(std::memory_order_relaxed);
+        while (now > peak &&
+               !resident_peak.compare_exchange_weak(
+                   peak, now, std::memory_order_relaxed)) {
+        }
       }
     }
   };
   auto release = [&](PartitionId first, PartitionId last) {
     if (!spilled || !bounded) return;
-    for (PartitionId i = first; i < last; ++i) cache[i].reset();
+    for (PartitionId i = first; i < last; ++i) {
+      if (cache[i] != nullptr) {
+        cache[i].reset();
+        resident_now.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
   };
   /// Run `body(first, last)` over the residency groups in ascending
   /// worker order (one-shot stages: value init and the final gather).
@@ -390,10 +410,22 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
 
     // --- Superstep task graph ------------------------------------------
     // Three phases (compute+route, merge+broadcast, install), each with
-    // optional per-group loader/release tasks. Loader chains L(g) ←
-    // {L(g-1), Rel(g-2)} keep at most two groups resident (double
-    // buffering); phase f+1's first load waits for phase f's last
-    // release, so the budget holds across phase boundaries too.
+    // optional per-group loader/release tasks under a binding budget.
+    // The loads form one global chain across the phases (L1[0..],
+    // L2[0..], L3[0..]) and so do the releases (Rel1[0..], Rel2[0..],
+    // Rel3[0..], each gated on its chain predecessor); every load also
+    // waits for the release `overlap` positions behind it in the global
+    // load order. Chaining the releases makes that gate transitive —
+    // when a load runs, EVERY earlier release outside its overlap window
+    // has executed (not merely become ready), so at most `overlap`
+    // groups are materialised at any instant under any steal schedule:
+    // 2 × ⌊k/2⌋ ≤ k with prefetch, 1 × k without. In particular a group
+    // is provably released before a later phase reloads it — without
+    // the chain, a ready-but-unexecuted straggler release (e.g. phase
+    // 1's second-to-last, which no later task would otherwise depend
+    // on) could reset a subgraph AFTER phase 2 reloaded it, racing the
+    // merge tasks reading it.
+    const std::size_t overlap = prefetch ? 2 : 1;
     TaskGraph tg;
     constexpr TaskGraph::TaskId kNone = TaskGraph::kNone;
     std::vector<TaskGraph::TaskId> C(p), M(p), I(p);
@@ -402,6 +434,7 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
     std::vector<TaskGraph::TaskId> L1(ng, kNone), Rel1(ng, kNone);
     std::vector<TaskGraph::TaskId> L2(ng, kNone), Rel2(ng, kNone);
     std::vector<TaskGraph::TaskId> L3(ng, kNone), Rel3(ng, kNone);
+    TaskGraph::TaskId prev_rel = kNone;  // release-chain tail
 
     // Phase 1: load(csr) → compute (+ local resolve) → route → release.
     TaskGraph::TaskId prev_r = kNone;
@@ -410,7 +443,8 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
       if (with_loads) {
         L1[g] = tg.add(
             [&, grp] { ensure_loaded(grp.first, grp.last, true); },
-            {g > 0 ? L1[g - 1] : kNone, g >= 2 ? Rel1[g - 2] : kNone});
+            {g > 0 ? L1[g - 1] : kNone,
+             g >= overlap ? Rel1[g - overlap] : kNone});
       }
       for (PartitionId i = grp.first; i < grp.last; ++i) {
         C[i] = tg.add(
@@ -425,22 +459,27 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
         }
       }
       if (with_loads) {
-        Rel1[g] = tg.add([&, grp] { release(grp.first, grp.last); });
+        Rel1[g] = tg.add([&, grp] { release(grp.first, grp.last); },
+                         {prev_rel});
         for (PartitionId i = grp.first; i < grp.last; ++i) {
           tg.depend(Rel1[g], async ? C[i] : R[i]);
         }
+        prev_rel = Rel1[g];
       }
     }
 
     // Phase 2: load → merge (+ async broadcast) → release; strict
-    // broadcast chain gated behind the full route chain.
+    // broadcast chain gated behind the full route chain. Each load
+    // carries an explicit release-before-reload edge on its own group's
+    // phase-1 release (also implied by the chain — kept direct so the
+    // correctness invariant survives future overlap changes).
     for (std::size_t g = 0; g < ng; ++g) {
       const Group grp = groups[g];
       if (with_loads) {
         L2[g] = tg.add(
             [&, grp] { ensure_loaded(grp.first, grp.last, false); },
-            {g > 0 ? L2[g - 1] : Rel1[ng - 1],
-             g >= 2 ? Rel2[g - 2] : kNone});
+            {g > 0 ? L2[g - 1] : kNone, Rel1[g],
+             g >= overlap ? Rel2[g - overlap] : Rel1[ng - overlap + g]});
       }
       for (PartitionId m = grp.first; m < grp.last; ++m) {
         M[m] = tg.add([&, m] { merge_worker(m); }, {L2[g]});
@@ -457,10 +496,12 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
         }
       }
       if (with_loads) {
-        Rel2[g] = tg.add([&, grp] { release(grp.first, grp.last); });
+        Rel2[g] = tg.add([&, grp] { release(grp.first, grp.last); },
+                         {prev_rel});
         for (PartitionId m = grp.first; m < grp.last; ++m) {
           tg.depend(Rel2[g], M[m]);
         }
+        prev_rel = Rel2[g];
       }
     }
     if (!async) {
@@ -480,8 +521,8 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
       if (with_loads) {
         L3[g] = tg.add(
             [&, grp] { ensure_loaded(grp.first, grp.last, false); },
-            {g > 0 ? L3[g - 1] : Rel2[ng - 1],
-             g >= 2 ? Rel3[g - 2] : kNone});
+            {g > 0 ? L3[g - 1] : kNone, Rel2[g],
+             g >= overlap ? Rel3[g - overlap] : Rel2[ng - overlap + g]});
       }
       for (PartitionId i = grp.first; i < grp.last; ++i) {
         I[i] = tg.add([&, i] { install_worker(i); }, {L3[g]});
@@ -495,10 +536,12 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
         }
       }
       if (with_loads) {
-        Rel3[g] = tg.add([&, grp] { release(grp.first, grp.last); });
+        Rel3[g] = tg.add([&, grp] { release(grp.first, grp.last); },
+                         {prev_rel});
         for (PartitionId i = grp.first; i < grp.last; ++i) {
           tg.depend(Rel3[g], I[i]);
         }
+        prev_rel = Rel3[g];
       }
     }
 
@@ -561,6 +604,7 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
       stats.values[gv] = program.init_value(gv);
     }
   }
+  stats.peak_resident_workers = resident_peak.load(std::memory_order_relaxed);
   stats.wall_seconds = wall.seconds();
   return stats;
 }

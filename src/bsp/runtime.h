@@ -116,6 +116,14 @@ struct RunStats {
   std::uint64_t raw_messages = 0;
   std::vector<std::uint64_t> messages_sent_per_worker;
 
+  /// High-water mark of simultaneously materialised worker subgraphs
+  /// (0 for a resident DistributedGraph, which never loads; p for a
+  /// spilled graph under an unbounded budget). Diagnostic only — never
+  /// part of the bit-identity contract — but under a bounded budget the
+  /// scheduler guarantees peak_resident_workers <= resident_workers in
+  /// EVERY schedule, steal order included (pinned by spill_run_test).
+  std::uint32_t peak_resident_workers = 0;
+
   /// Final vertex values indexed by global id (uncovered vertices keep
   /// their init_value).
   std::vector<Value> values;

@@ -1,11 +1,12 @@
 #include "common/task_graph.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
-#include <thread>
 
 #include "common/assert.h"
 #include "common/parallel.h"
@@ -102,8 +103,32 @@ void TaskGraph::run(unsigned team_size) {
   std::exception_ptr error;
   std::mutex error_mu;
 
+  // Idle-rank parking. A rank whose steal round finds every deque empty
+  // sleeps on park_cv instead of spinning (long serial chains — the
+  // strict BSP route/broadcast chains — would otherwise burn team-1
+  // cores on yield loops). work_epoch ticks whenever newly-ready work
+  // is pushed; a parked rank re-scans once it moves past the value it
+  // sampled BEFORE its failed scan, or once the graph drained. All four
+  // cross-checks (producer: tick epoch then read parked; idle rank:
+  // raise parked then read epoch) are seq_cst so the two sides cannot
+  // both take their skip path, and the producer's empty lock/unlock of
+  // park_mu before notifying pairs with the predicate evaluated under
+  // park_mu — the sleeper either sees the new epoch pre-block or is
+  // fully blocked and receives the notify. No lost wakeups.
+  std::atomic<std::uint64_t> work_epoch{0};
+  std::atomic<unsigned> parked{0};
+  std::mutex park_mu;
+  std::condition_variable park_cv;
+  auto announce_work = [&] {
+    work_epoch.fetch_add(1);
+    if (parked.load() == 0) return;
+    { std::lock_guard lock(park_mu); }
+    park_cv.notify_all();
+  };
+
   ThreadPool::global().run_team(team, [&](unsigned rank, unsigned t_size) {
     while (remaining.load(std::memory_order_acquire) > 0) {
+      const std::uint64_t epoch = work_epoch.load();
       TaskId task = kNone;
       {
         // Own deque: newest first (LIFO) — dependents just pushed are
@@ -124,7 +149,15 @@ void TaskGraph::run(unsigned team_size) {
         }
       }
       if (task == kNone) {
-        std::this_thread::yield();
+        parked.fetch_add(1);
+        {
+          std::unique_lock lock(park_mu);
+          park_cv.wait(lock, [&] {
+            return work_epoch.load(std::memory_order_relaxed) != epoch ||
+                   remaining.load(std::memory_order_acquire) == 0;
+          });
+        }
+        parked.fetch_sub(1);
         continue;
       }
       if (!failed.load(std::memory_order_relaxed)) {
@@ -138,13 +171,20 @@ void TaskGraph::run(unsigned team_size) {
       }
       // Release dependents. acq_rel on the counter publishes everything
       // this task wrote to whoever runs the dependent.
+      bool pushed = false;
       for (const TaskId d : tasks_[task].dependents) {
         if (pending[d].fetch_sub(1, std::memory_order_acq_rel) == 1) {
           std::lock_guard lock(ranks[rank].mu);
           ranks[rank].dq.push_back(d);
+          pushed = true;
         }
       }
-      remaining.fetch_sub(1, std::memory_order_release);
+      if (pushed) announce_work();
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Graph drained: wake every parked rank so the team can retire.
+        { std::lock_guard lock(park_mu); }
+        park_cv.notify_all();
+      }
     }
   });
 

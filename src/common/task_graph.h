@@ -7,6 +7,9 @@
 // the back (LIFO, cache-warm), idle ranks steal from the front (the
 // oldest entry, GMP/csp run-queue style), and a task that completes
 // pushes its newly-ready dependents onto the completing rank's deque.
+// A rank whose steal round finds every deque empty parks on a
+// condition variable until new work is pushed or the graph drains —
+// idle ranks burn no CPU while another rank works a serial chain.
 // Dependency release uses an acq_rel counter, so everything a task wrote
 // happens-before every dependent — per-task-private data needs no other
 // synchronisation (this is what lets the BSP runtime keep plain,

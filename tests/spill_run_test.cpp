@@ -309,10 +309,56 @@ TEST(SpillRun, StrictSchedulerBitIdenticalAcrossTeamAndPrefetch) {
         }
         SCOPED_TRACE(testing::Message() << "k=" << k << " prefetch="
                                         << prefetch << " par=" << parallel);
-        expect_stats_identical(BspRuntime(options).run(spilled, cc), base);
+        const RunStats run = BspRuntime(options).run(spilled, cc);
+        expect_stats_identical(run, base);
+        // The budget is a hard cap, not a target: loads gate on the
+        // chained release sequence, so no schedule can overshoot k.
+        EXPECT_LE(run.peak_resident_workers, k);
+        EXPECT_GE(run.peak_resident_workers, 1u);
       }
     }
   }
+}
+
+TEST(SpillRun, ResidencyBudgetHoldsUnderWorkStealing) {
+  // Regression for a straggler-release race: a phase's second-to-last
+  // release task had no dependents, so under work stealing it could
+  // still be pending when the next phase reloaded the same group —
+  // cache[i].reset() racing the reload and the merge tasks reading the
+  // subgraph, with transient residency above the budget. Loads now gate
+  // on a chained release sequence; repeated parallel runs (varying
+  // steal schedules) must never push the high-water mark past k.
+  const Graph& g = powerlaw_graph();
+  const EdgePartition partition = ebv_partition(g, 8);
+  const DistributedGraph spilled(
+      g, partition, {.spill_path = temp_path("residency.ebvw")});
+  const apps::ConnectedComponents cc;
+  for (const std::uint32_t k : {1u, 2u, 3u, 5u, 7u}) {
+    for (const bool prefetch : {false, true}) {
+      for (const bool async : {false, true}) {
+        for (int rep = 0; rep < 3; ++rep) {
+          RunOptions options;
+          options.resident_workers = k;
+          options.prefetch = prefetch;
+          options.scheduler = async ? bsp::SchedulerMode::kAsync
+                                    : bsp::SchedulerMode::kStrict;
+          options.policy = bsp::ExecutionPolicy::kParallel;
+          options.num_threads = 4;
+          SCOPED_TRACE(testing::Message() << "k=" << k << " prefetch="
+                                          << prefetch << " async=" << async
+                                          << " rep=" << rep);
+          const RunStats run = BspRuntime(options).run(spilled, cc);
+          EXPECT_GE(run.peak_resident_workers, 1u);
+          EXPECT_LE(run.peak_resident_workers, k);
+        }
+      }
+    }
+  }
+  // An unbounded budget over spilled storage materialises all p workers
+  // once; a resident DistributedGraph never loads at all.
+  EXPECT_EQ(BspRuntime().run(spilled, cc).peak_resident_workers, 8u);
+  const DistributedGraph resident(g, partition);
+  EXPECT_EQ(BspRuntime().run(resident, cc).peak_resident_workers, 0u);
 }
 
 TEST(SpillRun, AsyncSchedulerMatchesStrictForMinCombineApps) {

@@ -101,6 +101,23 @@ TEST(TaskGraph, DependencyOrderHoldsUnderStealing) {
   }
 }
 
+TEST(TaskGraph, WideTeamDrainsSerialChain) {
+  // A pure chain keeps at most one task ready, so the other team-1
+  // ranks spend the whole run parked on the idle condition variable;
+  // every completion must wake the team enough to keep the chain
+  // moving and the final drain must release every sleeper. (Run under
+  // TSan in CI — this is the park/notify path's stress.)
+  TaskGraph g;
+  std::vector<int> order;
+  TaskGraph::TaskId prev = TaskGraph::kNone;
+  for (int i = 0; i < 300; ++i) {
+    prev = g.add([&order, i] { order.push_back(i); }, {prev});
+  }
+  g.run(8);
+  ASSERT_EQ(order.size(), 300u);
+  for (int i = 0; i < 300; ++i) ASSERT_EQ(order[i], i);
+}
+
 TEST(TaskGraph, CycleIsReportedBeforeAnyTaskRuns) {
   TaskGraph g;
   std::atomic<int> ran{0};
