@@ -66,6 +66,19 @@ CcState build_state(bsp::WorkerContext& ctx) {
 
 }  // namespace
 
+void ConnectedComponents::restore_state(bsp::WorkerContext& ctx,
+                                        std::uint32_t /*next_superstep*/)
+    const {
+  // build_state over the RESTORED values gives comp_label[c] = min over
+  // members, which the next compute()'s frontier fold makes equal to the
+  // uninterrupted run's evolved label before any install/emit decision:
+  // members outside the restored frontier still hold the label installed
+  // at the cut, and sync only lowered frontier members below it. The
+  // context is a throwaway, so add_work() inside the rebuild never
+  // reaches the virtual-time accounting.
+  ctx.state() = build_state(ctx);
+}
+
 void ConnectedComponents::compute(bsp::WorkerContext& ctx,
                                   std::uint32_t superstep) const {
   const bsp::LocalSubgraph& ls = ctx.local();

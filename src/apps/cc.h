@@ -19,6 +19,11 @@ class ConnectedComponents final : public bsp::SubgraphProgram {
     return a < b ? a : b;
   }
   void compute(bsp::WorkerContext& ctx, std::uint32_t superstep) const override;
+
+  /// Checkpoint-resume hook: the union-find scratch is derivable from the
+  /// subgraph + restored values, so it is rebuilt rather than serialised.
+  void restore_state(bsp::WorkerContext& ctx,
+                     std::uint32_t next_superstep) const override;
 };
 
 }  // namespace ebv::apps

@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/task_graph.h"
 
 namespace ebv::bsp {
@@ -75,6 +76,7 @@ class SpillMailbox {
       while (remaining > 0) {
         chunk.resize(static_cast<std::size_t>(
             std::min<std::uint64_t>(remaining, 1u << 14)));
+        failpoint::maybe_fail_stream("mailbox.read", in);
         in.read(reinterpret_cast<char*>(chunk.data()),
                 static_cast<std::streamsize>(chunk.size() * sizeof(T)));
         if (!in) fail_io("read");
@@ -83,14 +85,41 @@ class SpillMailbox {
       }
       in.close();
       std::remove(path_.c_str());
+      created_ = false;
       spilled_ = 0;
     }
     for (const T& msg : buf_) fn(msg);
     buf_.clear();
   }
 
-  ~SpillMailbox() {
+  /// Peek every held message in append order (spilled prefix, then the
+  /// in-memory tail) WITHOUT consuming — the checkpoint writer's view of
+  /// undrained state. The spill file stays open and append-able.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
     if (spilled_ > 0) {
+      out_.flush();
+      if (!out_) fail_io("flush");
+      std::ifstream in(path_, std::ios::binary);
+      if (!in) fail_io("reopen");
+      std::vector<T> chunk;
+      std::uint64_t remaining = spilled_;
+      while (remaining > 0) {
+        chunk.resize(static_cast<std::size_t>(
+            std::min<std::uint64_t>(remaining, 1u << 14)));
+        failpoint::maybe_fail_stream("mailbox.read", in);
+        in.read(reinterpret_cast<char*>(chunk.data()),
+                static_cast<std::streamsize>(chunk.size() * sizeof(T)));
+        if (!in) fail_io("read");
+        for (const T& msg : chunk) fn(msg);
+        remaining -= chunk.size();
+      }
+    }
+    for (const T& msg : buf_) fn(msg);
+  }
+
+  ~SpillMailbox() {
+    if (created_) {
       out_.close();
       std::remove(path_.c_str());
     }
@@ -100,8 +129,12 @@ class SpillMailbox {
   void flush() {
     if (!out_.is_open()) {
       out_.open(path_, std::ios::binary | std::ios::trunc);
+      // The file may exist even when open fails half-way; from here on
+      // the overflow file is ours to reclaim whatever happens.
+      created_ = true;
       if (!out_) fail_io("open");
     }
+    failpoint::maybe_fail_stream("mailbox.append", out_);
     out_.write(reinterpret_cast<const char*>(buf_.data()),
                static_cast<std::streamsize>(buf_.size() * sizeof(T)));
     if (!out_) fail_io("append");
@@ -109,15 +142,25 @@ class SpillMailbox {
     buf_.clear();
   }
 
-  [[noreturn]] void fail_io(const char* what) const {
-    throw std::runtime_error(std::string("mailbox spill: ") + what +
-                             " failed: " + path_);
+  /// Surface the failure with the controlling flag and the path, and
+  /// remove the partial overflow file first — an aborted mailbox never
+  /// leaves state behind (ISSUE 7's never-partial guarantee).
+  [[noreturn]] void fail_io(const char* what) {
+    if (created_) {
+      out_.close();
+      std::remove(path_.c_str());
+      created_ = false;
+      spilled_ = 0;
+    }
+    throw std::runtime_error(std::string("mailbox spill (--spill-dir): ") +
+                             what + " failed: " + path_);
   }
 
   std::vector<T> buf_;
   std::string path_;
   std::uint64_t cap_ = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t spilled_ = 0;
+  bool created_ = false;
   std::ofstream out_;
 };
 
@@ -156,6 +199,19 @@ class SharedMailbox {
       while (channel_->try_pop(msg)) fn(msg);
     }
     box_.drain(fn);
+  }
+
+  /// Owner-only non-consuming peek (checkpoint serialisation). Ring
+  /// entries are folded into the spill mailbox first so they are both
+  /// visited and retained; within-mailbox order may differ from a
+  /// subsequent drain under async, which its contract permits.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    if (channel_.has_value()) {
+      T msg;
+      while (channel_->try_pop(msg)) box_.push(msg);
+    }
+    box_.for_each(fn);
   }
 
  private:

@@ -11,8 +11,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bsp/checkpoint.h"
 #include "bsp/mailbox.h"
 #include "common/assert.h"
+#include "common/failpoint.h"
 #include "common/parallel.h"
 #include "common/task_graph.h"
 #include "common/timer.h"
@@ -20,12 +22,6 @@
 
 namespace ebv::bsp {
 namespace {
-
-/// One value in flight between two workers.
-struct WireMessage {
-  VertexId global = kInvalidVertex;
-  Value value = 0.0;
-};
 
 using MsgBox = SharedMailbox<WireMessage>;
 
@@ -232,6 +228,108 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
   stats.messages_sent_per_worker.assign(p, 0);
   const std::optional<std::uint32_t> fixed = program.fixed_supersteps();
 
+  // --- Checkpoint/restore (bsp/checkpoint.h) ---------------------------
+  const bool checkpoint_on =
+      !options_.checkpoint_dir.empty() && options_.checkpoint_every > 0;
+  EBV_REQUIRE(!options_.resume || !options_.checkpoint_dir.empty(),
+              "resume needs checkpoint_dir (--resume without "
+              "--checkpoint-dir)");
+
+  /// Snapshot the full superstep cut after `completed` barriers. Every
+  /// field is either a plain copy of loop state or, for comp/comm, the
+  /// still-undivided accumulation sums, so restoring them continues the
+  /// identical float accumulation order.
+  auto collect_checkpoint = [&](std::uint32_t completed) {
+    Checkpoint ck;
+    ck.completed_supersteps = completed;
+    ck.num_workers = p;
+    ck.num_global_vertices = graph.num_global_vertices();
+    ck.num_global_edges = graph.num_global_edges();
+    ck.program = program.name();
+    ck.total_messages = stats.total_messages;
+    ck.raw_messages = stats.raw_messages;
+    ck.execution_seconds = stats.execution_seconds;
+    ck.comp_seconds_sum = stats.comp_seconds;
+    ck.comm_seconds_sum = stats.comm_seconds;
+    ck.delta_c_seconds = stats.delta_c_seconds;
+    ck.peak_resident_workers =
+        resident_peak.load(std::memory_order_relaxed);
+    ck.messages_sent_per_worker = stats.messages_sent_per_worker;
+    ck.steps = stats.steps;
+    ck.values = values;
+    ck.last_sync = last_sync;
+    ck.updated = updated;
+    ck.to_master.resize(p);
+    ck.to_mirror.resize(p);
+    for (PartitionId j = 0; j < p; ++j) {
+      to_master[j].for_each(
+          [&](const WireMessage& msg) { ck.to_master[j].push_back(msg); });
+      to_mirror[j].for_each(
+          [&](const WireMessage& msg) { ck.to_mirror[j].push_back(msg); });
+    }
+    return ck;
+  };
+
+  std::uint32_t start_step = 0;
+  if (options_.resume) {
+    if (std::optional<Checkpoint> ck =
+            load_latest_checkpoint(options_.checkpoint_dir)) {
+      EBV_REQUIRE(
+          ck->num_workers == p &&
+              ck->num_global_vertices == graph.num_global_vertices() &&
+              ck->num_global_edges == graph.num_global_edges() &&
+              ck->program == program.name(),
+          "resume: the checkpoint in checkpoint_dir was written by a "
+          "different run (graph shape or program mismatch)");
+      for (PartitionId i = 0; i < p; ++i) {
+        EBV_REQUIRE(ck->values[i].size() == values[i].size(),
+                    "resume: checkpoint worker state does not match this "
+                    "partition");
+      }
+      start_step = ck->completed_supersteps;
+      stats.supersteps = start_step;
+      stats.steps = std::move(ck->steps);
+      stats.execution_seconds = ck->execution_seconds;
+      stats.comp_seconds = ck->comp_seconds_sum;
+      stats.comm_seconds = ck->comm_seconds_sum;
+      stats.delta_c_seconds = ck->delta_c_seconds;
+      stats.total_messages = ck->total_messages;
+      stats.raw_messages = ck->raw_messages;
+      stats.messages_sent_per_worker =
+          std::move(ck->messages_sent_per_worker);
+      if (ck->peak_resident_workers >
+          resident_peak.load(std::memory_order_relaxed)) {
+        resident_peak.store(ck->peak_resident_workers,
+                            std::memory_order_relaxed);
+      }
+      for (PartitionId i = 0; i < p; ++i) {
+        values[i] = std::move(ck->values[i]);
+        last_sync[i] = std::move(ck->last_sync[i]);
+        updated[i] = std::move(ck->updated[i]);
+        for (const WireMessage& msg : ck->to_master[i]) {
+          to_master[i].push_serial(msg);
+        }
+        for (const WireMessage& msg : ck->to_mirror[i]) {
+          to_mirror[i].push_serial(msg);
+        }
+      }
+      if (start_step > 0) {
+        // Programs rebuild their per-worker scratch; the throwaway
+        // context discards any work accounting so virtual time stays
+        // bit-identical to the uninterrupted run.
+        for_each_group(true, [&](PartitionId first, PartitionId last) {
+          for (PartitionId i = first; i < last; ++i) {
+            WorkerContext ctx(sub(i), values[i], acc[i], has_acc[i],
+                              emitted[i], program);
+            ctx.updated_ = &updated[i];
+            ctx.state_ = &worker_state[i];
+            program.restore_state(ctx, start_step);
+          }
+        });
+      }
+    }
+  }
+
   // Scheduler fan-out. The sequential policy runs each superstep's graph
   // serially in deterministic topological order; kParallel runs it on a
   // work-stealing team — the whole pool, or exactly num_threads when set.
@@ -242,7 +340,8 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
                : ThreadPool::global().num_threads();
   }
 
-  for (std::uint32_t step = 0; step < options_.max_supersteps; ++step) {
+  for (std::uint32_t step = start_step; step < options_.max_supersteps;
+       ++step) {
     std::vector<WorkerStepStats> step_stats(p);
     // Per-sender counters, reduced after the graph drains. All are
     // owner-indexed plain arrays ordered by task dependencies — except
@@ -547,6 +646,15 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
 
     tg.run(team);
 
+    // A crash inside the superstep (modelled by the injected abort)
+    // reaches the outside world before any of this superstep's state is
+    // accounted or checkpointed — resume replays it from the last cut.
+    if (failpoint::hit("bsp.superstep") == failpoint::Action::kAbort) {
+      throw failpoint::InjectedFault(
+          "bsp.superstep", failpoint::Action::kAbort,
+          "bsp: superstep " + std::to_string(step) + " aborted (injected)");
+    }
+
     // --- Stage 3: synchronisation (reduction + accounting) --------------
     bool any_change = false;
     for (PartitionId i = 0; i < p; ++i) {
@@ -578,6 +686,13 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
 
     const bool more_fixed = fixed.has_value() && step + 1 < *fixed;
     const bool done = fixed.has_value() ? !more_fixed : !any_change;
+    // Checkpoint at the barrier — the consistent cut — but never after
+    // the final superstep (a resumed converged run must not replay one).
+    if (!done && checkpoint_on &&
+        (step + 1) % options_.checkpoint_every == 0) {
+      write_checkpoint(options_.checkpoint_dir,
+                       collect_checkpoint(step + 1));
+    }
     if (done) break;
   }
 

@@ -84,6 +84,17 @@ class SubgraphProgram {
       const {
     return std::nullopt;
   }
+
+  /// Rebuild per-worker scratch (WorkerContext::state()) after a
+  /// checkpoint restore, before the superstep loop re-enters at
+  /// `next_superstep` (always >= 1). Programs that build scratch lazily
+  /// at superstep 0 (CC's union-find) must override this; the runtime
+  /// discards the restore context's work accounting, so the rebuild
+  /// costs no virtual time and bit-identity is preserved. Default: no-op
+  /// for programs whose compute() keeps no persistent scratch.
+  virtual void restore_state([[maybe_unused]] WorkerContext& ctx,
+                             [[maybe_unused]] std::uint32_t next_superstep)
+      const {}
 };
 
 /// Per-worker, per-superstep instrumentation (virtual time).
@@ -201,6 +212,26 @@ struct RunOptions {
   /// spill file (needs spill_dir and a bounded residency budget;
   /// otherwise mailboxes simply grow).
   std::uint64_t mailbox_buffer_messages = 1u << 15;
+
+  /// Crash consistency: when non-empty (and checkpoint_every > 0) the
+  /// runtime serialises an EBVC checkpoint of the superstep cut into
+  /// this directory at the configured cadence — per-worker values,
+  /// last-synced values, update frontier, undrained mailbox contents and
+  /// accumulated RunStats — under an atomic temp-fsync-rename protocol
+  /// (bsp/checkpoint.h). Never written after the final superstep, so a
+  /// resumed run never replays past convergence.
+  std::string checkpoint_dir;
+
+  /// Checkpoint cadence in supersteps; 0 disables checkpointing.
+  std::uint32_t checkpoint_every = 0;
+
+  /// Resume from the newest readable checkpoint in checkpoint_dir
+  /// (scanning back past torn files; starting from scratch when none is
+  /// readable). The resumed run is BIT-IDENTICAL to the uninterrupted
+  /// one — values, supersteps, message counts, virtual time — at every
+  /// resident_workers × prefetch × scheduler combination. Rejects a
+  /// checkpoint whose graph shape or program name does not match.
+  bool resume = false;
 
   /// Opt-in combining: merge same-destination-vertex mirror→master
   /// messages with the program's combine() before enqueue, PowerGraph

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/assert.h"
+#include "common/failpoint.h"
 
 namespace ebv::bsp {
 namespace {
@@ -109,6 +110,8 @@ void SpillStoreWriter::write_worker(const LocalSubgraph& ls) {
   entry.num_vertices = vn;
   entry.num_edges = ls.edges.size();
 
+  failpoint::maybe_fail_stream("spill_store.write", out_);
+
   auto begin_section = [&](Section sec) {
     cursor_ = pad_to_page(out_, cursor_);
     entry.sec_offset[sec] = cursor_;
@@ -155,7 +158,7 @@ void SpillStoreWriter::write_worker(const LocalSubgraph& ls) {
             ls.global_out_degree.size() * sizeof(std::uint32_t));
   end_section(kSecOutDegree);
 
-  if (!out_) fail("write failed: " + path_);
+  if (!out_) fail("write failed (--spill-dir): " + path_);
   table_.push_back(entry);
 }
 
@@ -164,6 +167,7 @@ void SpillStoreWriter::finish() {
   EBV_REQUIRE(table_.size() == num_workers_,
               "finish before every worker was written");
 
+  failpoint::maybe_fail_stream("spill_store.write", out_);
   cursor_ = pad_to_page(out_, cursor_);
   const std::uint64_t table_offset = cursor_;
   write_raw(out_, cursor_, table_.data(),
@@ -175,7 +179,7 @@ void SpillStoreWriter::finish() {
              sizeof table_offset);
   out_.write(reinterpret_cast<const char*>(&table_bytes), sizeof table_bytes);
   out_.flush();
-  if (!out_) fail("write failed: " + path_);
+  if (!out_) fail("write failed (--spill-dir): " + path_);
   finished_ = true;
 }
 

@@ -1,0 +1,213 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace ebv::failpoint {
+
+namespace {
+
+struct Rule {
+  std::string site;
+  Action action = Action::kNone;
+  // Hit-range clause (1-based, inclusive); ignored when prob >= 0.
+  std::uint64_t from = 1;
+  std::uint64_t to = std::numeric_limits<std::uint64_t>::max();
+  // Probability clause; < 0 means "use the hit range".
+  double prob = -1.0;
+};
+
+struct Registry {
+  std::vector<Rule> rules;
+  std::uint64_t seed = 1;
+  std::unordered_map<std::string, std::uint64_t> hits;
+};
+
+std::mutex g_mutex;
+Registry g_registry;                 // guarded by g_mutex
+std::atomic<bool> g_active{false};   // fast path: any rules installed?
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic uniform [0,1) draw for hit n of `site` under `seed`.
+double seeded_draw(std::uint64_t seed, const std::string& site,
+                   std::uint64_t n) {
+  const std::uint64_t bits = splitmix64(seed ^ fnv1a64(site) ^ (n * 0x9e37ull));
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+Action parse_action(const std::string& name, const std::string& clause) {
+  if (name == "shortread") return Action::kShortRead;
+  if (name == "err") return Action::kWriteError;
+  if (name == "enospc") return Action::kEnospc;
+  if (name == "mmapfail") return Action::kMmapFail;
+  if (name == "abort") return Action::kAbort;
+  throw std::invalid_argument("failpoints: unknown action '" + name +
+                              "' in clause '" + clause +
+                              "' (expected shortread|err|enospc|mmapfail|"
+                              "abort)");
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& clause) {
+  std::size_t used = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (text.empty() || used != text.size()) {
+    throw std::invalid_argument("failpoints: bad number '" + text +
+                                "' in clause '" + clause + "'");
+  }
+  return value;
+}
+
+Rule parse_rule(const std::string& clause) {
+  const std::size_t eq = clause.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw std::invalid_argument("failpoints: clause '" + clause +
+                                "' is not <site>=<action>[@N[-M]|~P]");
+  }
+  Rule rule;
+  rule.site = clause.substr(0, eq);
+  std::string rhs = clause.substr(eq + 1);
+
+  const std::size_t at = rhs.find('@');
+  const std::size_t tilde = rhs.find('~');
+  if (at != std::string::npos && tilde != std::string::npos) {
+    throw std::invalid_argument("failpoints: clause '" + clause +
+                                "' mixes @range and ~probability");
+  }
+  if (at != std::string::npos) {
+    std::string range = rhs.substr(at + 1);
+    rhs = rhs.substr(0, at);
+    const std::size_t dash = range.find('-');
+    if (dash == std::string::npos) {
+      rule.from = rule.to = parse_u64(range, clause);
+    } else {
+      rule.from = parse_u64(range.substr(0, dash), clause);
+      rule.to = parse_u64(range.substr(dash + 1), clause);
+    }
+    if (rule.from == 0 || rule.to < rule.from) {
+      throw std::invalid_argument("failpoints: empty hit range in clause '" +
+                                  clause + "' (hits are 1-based)");
+    }
+  } else if (tilde != std::string::npos) {
+    const std::string prob = rhs.substr(tilde + 1);
+    rhs = rhs.substr(0, tilde);
+    try {
+      std::size_t used = 0;
+      rule.prob = std::stod(prob, &used);
+      if (used != prob.size()) rule.prob = -1.0;
+    } catch (const std::exception&) {
+      rule.prob = -1.0;
+    }
+    if (rule.prob < 0.0 || rule.prob > 1.0) {
+      throw std::invalid_argument("failpoints: probability in clause '" +
+                                  clause + "' must be in [0,1]");
+    }
+  }
+  rule.action = parse_action(rhs, clause);
+  return rule;
+}
+
+}  // namespace
+
+const char* action_name(Action action) {
+  switch (action) {
+    case Action::kNone: return "none";
+    case Action::kShortRead: return "shortread";
+    case Action::kWriteError: return "err";
+    case Action::kEnospc: return "enospc";
+    case Action::kMmapFail: return "mmapfail";
+    case Action::kAbort: return "abort";
+  }
+  return "none";
+}
+
+void configure(const std::string& spec) {
+  Registry next;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (clause.empty()) continue;
+    if (clause.rfind("seed=", 0) == 0) {
+      next.seed = parse_u64(clause.substr(5), clause);
+      continue;
+    }
+    next.rules.push_back(parse_rule(clause));
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_registry = std::move(next);
+  g_active.store(!g_registry.rules.empty(), std::memory_order_release);
+}
+
+void configure_from_env() {
+  const char* spec = std::getenv("EBV_FAILPOINTS");
+  if (spec != nullptr && spec[0] != '\0') configure(spec);
+}
+
+void clear() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_registry = Registry{};
+  g_active.store(false, std::memory_order_release);
+}
+
+bool active() { return g_active.load(std::memory_order_acquire); }
+
+Action hit(const char* site) {
+  if (!active()) return Action::kNone;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const std::uint64_t n = ++g_registry.hits[site];
+  for (const Rule& rule : g_registry.rules) {
+    if (rule.site != site) continue;
+    if (rule.prob >= 0.0) {
+      if (seeded_draw(g_registry.seed, rule.site, n) < rule.prob) {
+        return rule.action;
+      }
+    } else if (n >= rule.from && n <= rule.to) {
+      return rule.action;
+    }
+  }
+  return Action::kNone;
+}
+
+Action maybe_fail_stream(const char* site, std::basic_ios<char>& stream) {
+  const Action action = hit(site);
+  if (action == Action::kWriteError || action == Action::kEnospc ||
+      action == Action::kShortRead) {
+    stream.setstate(std::ios::badbit);
+  }
+  return action;
+}
+
+InjectedFault::InjectedFault(std::string site, Action action,
+                             const std::string& what)
+    : std::runtime_error(what), site_(std::move(site)), action_(action) {}
+
+}  // namespace ebv::failpoint

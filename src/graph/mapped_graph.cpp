@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "graph/section_io.h"
 
 namespace ebv {
@@ -123,6 +124,12 @@ SnapshotWriter::~SnapshotWriter() {
     impl_->spool.close();
     std::remove(impl_->spool_path.c_str());
   }
+  if (!impl_->finished) {
+    // Abandoned before finish() completed (an exception unwound the
+    // caller): a table-less snapshot must not survive to be mmapped.
+    impl_->out.close();
+    std::remove(impl_->path.c_str());
+  }
   delete impl_;
 }
 
@@ -153,8 +160,8 @@ void SnapshotWriter::finish(VertexId num_vertices,
   EBV_REQUIRE(out_degrees.size() == num_vertices &&
                   in_degrees.size() == num_vertices,
               "degree spans must cover every vertex");
-  s.finished = true;
 
+  failpoint::maybe_fail_stream("snapshot.write", s.out);
   write_raw(s.out, s.cursor, s.edge_buf.data(),
             s.edge_buf.size() * sizeof(Edge));
   s.edge_buf.clear();
@@ -226,7 +233,8 @@ void SnapshotWriter::finish(VertexId num_vertices,
   s.out.seekp(static_cast<std::streamoff>(kOffSectionTable));
   s.out.write(reinterpret_cast<const char*>(s.table), sizeof s.table);
   s.out.flush();
-  if (!s.out) fail("write failed: " + s.path);
+  if (!s.out) fail("write failed (snapshot output): " + s.path);
+  s.finished = true;
 }
 
 }  // namespace detail

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/failpoint.h"
+
 #if defined(_WIN32)
 // Heap-copy fallback only.
 #else
@@ -37,6 +39,7 @@ void check_header_prologue(const std::byte* base, std::size_t size,
 void write_raw(std::ofstream& out, std::size_t& cursor, const void* data,
                std::size_t bytes) {
   if (bytes == 0) return;
+  failpoint::maybe_fail_stream("section_io.write", out);
   out.write(static_cast<const char*>(data),
             static_cast<std::streamsize>(bytes));
   cursor += bytes;
@@ -52,6 +55,10 @@ std::size_t pad_to_page(std::ofstream& out, std::size_t cursor) {
 }
 
 MappedFile::MappedFile(const std::string& path) {
+  if (failpoint::hit("section_io.mmap") == failpoint::Action::kMmapFail) {
+    throw failpoint::InjectedFault("section_io.mmap", failpoint::Action::kMmapFail,
+                              "mmap failed (injected): " + path);
+  }
 #if defined(_WIN32)
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw std::runtime_error("cannot open: " + path);

@@ -14,6 +14,7 @@
 // Graph files: .ebvg binary (ebvpart generate), .ebvs mmap snapshots
 // (ebvpart convert; --graph loads them resident, --mmap maps them
 // zero-copy) or plain text edge lists. Full reference: docs/CLI.md.
+#include <filesystem>
 #include <iostream>
 #include <limits>
 #include <optional>
@@ -22,8 +23,10 @@
 #include "analysis/experiment.h"
 #include "analysis/table.h"
 #include "common/cli_args.h"
+#include "common/failpoint.h"
 #include "common/format.h"
 #include "common/parallel.h"
+#include "common/stale_sweep.h"
 #include "common/timer.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
@@ -117,6 +120,19 @@ int cmd_convert(const ArgMap& args) {
 
   const std::string in = get(args, "in");
   const std::string out = get(args, "out");
+
+  // Reclaim sort-run files a killed convert left behind (pid-liveness
+  // checked, so concurrent converts sharing the directory are safe).
+  {
+    const std::filesystem::path out_path(out);
+    const std::filesystem::path run_dir =
+        options.temp_dir.empty()
+            ? (out_path.has_parent_path() ? out_path.parent_path()
+                                          : std::filesystem::path("."))
+            : std::filesystem::path(options.temp_dir);
+    sweep_stale_temp_files(run_dir.string());
+  }
+
   const Timer timer;
   const io::ConvertStats s =
       io::convert_edge_list_to_snapshot(in, out, options);
@@ -311,6 +327,29 @@ int cmd_run(const ArgMap& args) {
   if (args.count("spill-dir") != 0) options.spill_dir = args.at("spill-dir");
   options.combine_messages = get(args, "combine", "0") != "0";
 
+  // --checkpoint-dir DIR writes a crash-consistent EBVC checkpoint at the
+  // superstep barrier every --checkpoint-every N supersteps (default 1
+  // once a directory is given); --resume 1 restarts from the newest
+  // readable checkpoint and finishes bit-identically to the uninterrupted
+  // run. docs/ARCHITECTURE.md, "Fault tolerance".
+  if (args.count("checkpoint-dir") != 0) {
+    options.checkpoint_dir = args.at("checkpoint-dir");
+  }
+  options.checkpoint_every = static_cast<std::uint32_t>(get_uint(
+      args, "checkpoint-every", options.checkpoint_dir.empty() ? "0" : "1",
+      kU32Max));
+  options.resume = get(args, "resume", "0") != "0";
+
+  // Reclaim temp files (mailbox overflow, EBVW spill snapshots,
+  // checkpoint temps) a killed run left behind, before we create ours.
+  sweep_stale_temp_files(
+      options.spill_dir.empty()
+          ? std::filesystem::temp_directory_path().string()
+          : options.spill_dir);
+  if (!options.checkpoint_dir.empty()) {
+    sweep_stale_temp_files(options.checkpoint_dir);
+  }
+
   // --mmap feeds the whole pipeline (partition → DistributedGraph → BSP)
   // from the mapped snapshot sections: no resident Graph is ever built,
   // and results are bit-identical to --graph on the same snapshot.
@@ -387,6 +426,8 @@ void print_usage(std::ostream& out) {
          "            (--partition p.ebvp | [--algo ebv] [--parts 8])\n"
          "            [--resident-workers K] [--spill-dir DIR] [--combine 0|1]\n"
          "            [--async 0|1] [--prefetch 0|1]\n"
+         "            [--checkpoint-dir DIR] [--checkpoint-every N]\n"
+         "            [--resume 0|1]\n"
          "\n"
          "--mmap maps an EBVS snapshot read-only and streams partitioning —\n"
          "and, for run, distributed-graph construction and the BSP\n"
@@ -397,6 +438,12 @@ void print_usage(std::ostream& out) {
          "at most K of them materialised at a time — same output, bounded\n"
          "subgraph residency (0 = all resident); with K >= 2 the scheduler\n"
          "prefetches the next group while the current one computes.\n"
+         "--checkpoint-dir DIR writes a crash-consistent EBVC checkpoint\n"
+         "every --checkpoint-every N supersteps (default 1 once a dir is\n"
+         "given); --resume 1 restarts from the newest readable checkpoint\n"
+         "and finishes bit-identically to the uninterrupted run.\n"
+         "--failpoints SPEC (any command; or EBV_FAILPOINTS) injects\n"
+         "deterministic I/O faults for testing — see docs/CLI.md.\n"
          "Formats: docs/FORMATS.md; full flag reference: docs/CLI.md.\n";
 }
 
@@ -416,6 +463,12 @@ int main(int argc, char** argv) {
   }
   try {
     const ArgMap args = cli::parse_args(argc, argv, 2);
+    // Deterministic fault injection for tests and CI: the EBV_FAILPOINTS
+    // environment variable, overridden by --failpoints SPEC (any command).
+    failpoint::configure_from_env();
+    if (args.count("failpoints") != 0) {
+      failpoint::configure(args.at("failpoints"));
+    }
     if (command == "generate") return cmd_generate(args);
     if (command == "convert") return cmd_convert(args);
     if (command == "stats") return cmd_stats(args);
