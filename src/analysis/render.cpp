@@ -1,0 +1,44 @@
+#include "analysis/render.h"
+
+#include "analysis/table.h"
+#include "common/format.h"
+
+namespace ebv::analysis {
+
+std::string format_mmap_stats_table(const GraphStats& stats,
+                                    std::size_t mapped_bytes) {
+  Table table({"metric", "value"});
+  table.add_row({"vertices", with_commas(stats.num_vertices)});
+  table.add_row({"edges", with_commas(stats.num_edges)});
+  table.add_row({"average degree", format_fixed(stats.average_degree, 2)});
+  table.add_row({"max total degree", with_commas(stats.max_total_degree)});
+  table.add_row({"isolated vertices", with_commas(stats.isolated_vertices)});
+  table.add_row({"power-law eta", format_fixed(stats.eta, 2)});
+  table.add_row(
+      {"mapped MB",
+       format_fixed(static_cast<double>(mapped_bytes) / 1e6, 1)});
+  return table.to_string();
+}
+
+std::string format_run_table(const std::string& app_label,
+                             const ExperimentResult& result,
+                             bool include_raw) {
+  Table table({"metric", "value"});
+  table.add_row({"app", app_label});
+  table.add_row({"workers", std::to_string(result.num_parts)});
+  table.add_row({"supersteps", std::to_string(result.run.supersteps)});
+  table.add_row({"messages", with_commas(result.run.total_messages)});
+  if (include_raw) {
+    // Only under --combine 1: the default table stays byte-identical
+    // across residency budgets (the CI e2e diffs them).
+    table.add_row({"messages (raw)", with_commas(result.run.raw_messages)});
+  }
+  table.add_row({"comp (avg)", format_duration(result.run.comp_seconds)});
+  table.add_row({"comm (avg)", format_duration(result.run.comm_seconds)});
+  table.add_row({"delta C", format_duration(result.run.delta_c_seconds)});
+  table.add_row(
+      {"execution time", format_duration(result.run.execution_seconds)});
+  return table.to_string();
+}
+
+}  // namespace ebv::analysis

@@ -1,0 +1,26 @@
+// Shared table renderers for outputs that exist on TWO surfaces: the
+// one-shot CLI (`ebvpart stats --mmap`, `ebvpart run`) and the serve
+// daemon's stats/run query classes. Both call these, so the daemon's
+// responses are byte-identical to the CLI by construction — the golden
+// equivalence the serve tests and the CI e2e byte-diffs pin.
+#pragma once
+
+#include <string>
+
+#include "analysis/experiment.h"
+#include "graph/stats.h"
+
+namespace ebv::analysis {
+
+/// The `ebvpart stats --mmap` table: vertices/edges/average degree/max
+/// total degree/isolated/eta plus the trailing "mapped MB" row.
+std::string format_mmap_stats_table(const GraphStats& stats,
+                                    std::size_t mapped_bytes);
+
+/// The `ebvpart run` result table. `app_label` is the CLI spelling
+/// ("cc", "pr", "sssp"); `include_raw` adds the "messages (raw)" row
+/// that `run --combine 1` prints.
+std::string format_run_table(const std::string& app_label,
+                             const ExperimentResult& result, bool include_raw);
+
+}  // namespace ebv::analysis

@@ -60,6 +60,13 @@ std::optional<long> temp_file_owner_pid(const std::string& file_name) {
     const std::size_t start = ebvc_tmp + std::string(".ebvc.tmp.").size();
     return parse_suffix_token(file_name.substr(start));
   }
+  // Serve daemon socket: ebv-serve.<pid>-<n>.sock
+  if (file_name.rfind("ebv-serve.", 0) == 0 && ends_with(file_name, ".sock")) {
+    const std::size_t start = std::string("ebv-serve.").size();
+    const std::size_t end = file_name.size() - std::string(".sock").size();
+    if (end <= start) return std::nullopt;
+    return parse_suffix_token(file_name.substr(start, end - start));
+  }
   // Converter run file: <out>.run<k>.<pid>-<n>.tmp
   if (ends_with(file_name, ".tmp") && file_name.find(".run") != std::string::npos) {
     const std::string stem =
@@ -89,7 +96,12 @@ std::size_t sweep_stale_temp_files(const std::string& dir) {
   if (ec) return 0;
   for (const fs::directory_entry& entry : it) {
     std::error_code entry_ec;
-    if (!entry.is_regular_file(entry_ec) || entry_ec) continue;
+    // Daemon sockets (ebv-serve.*.sock) are socket inodes, not regular
+    // files — admit both; every other shape only ever matches a file.
+    const bool regular = entry.is_regular_file(entry_ec) && !entry_ec;
+    std::error_code sock_ec;
+    const bool socket = entry.is_socket(sock_ec) && !sock_ec;
+    if (!regular && !socket) continue;
     const std::optional<long> pid =
         temp_file_owner_pid(entry.path().filename().string());
     if (!pid.has_value() || process_alive(*pid)) continue;

@@ -17,8 +17,8 @@ namespace ebv {
 /// If `file_name` (no directory) matches one of the temp-file shapes the
 /// system creates — `ebv-mbox.<pid>-<n>.<chan>.tmp`,
 /// `ebv-workers.<pid>-<n>.ebvw`, `<out>.run<k>.<pid>-<n>.tmp`,
-/// `<ckpt>.ebvc.tmp.<pid>-<n>` — return the owning pid; otherwise
-/// nullopt. Exposed for tests.
+/// `<ckpt>.ebvc.tmp.<pid>-<n>`, `ebv-serve.<pid>-<n>.sock` — return the
+/// owning pid; otherwise nullopt. Exposed for tests.
 [[nodiscard]] std::optional<long> temp_file_owner_pid(
     const std::string& file_name);
 

@@ -23,6 +23,7 @@
 // still drains the graph) and the first exception is rethrown.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -71,13 +72,23 @@ class TaskGraph {
   bool ran_ = false;
 };
 
+/// Outcome of BoundedChannel::pop_until_closed — the drain-aware timed
+/// pop a long-lived consumer (e.g. a serve worker multiplexing several
+/// admission queues) needs to tell "no work right now" (kTimedOut,
+/// keep serving other queues) apart from "closed and fully drained"
+/// (kClosed, exit for good). A plain pop() cannot make the distinction
+/// without blocking forever on an empty-but-open channel.
+enum class ChannelPopStatus { kItem, kTimedOut, kClosed };
+
 /// Bounded multi-producer ring channel (mutex + condition variables).
 /// push() blocks while full — backpressure; try_push()/try_pop() never
 /// block, which is what a task scheduled on a finite pool must use (a
 /// task that blocks on channel state occupies its executor, and a full
 /// complement of blocked tasks deadlocks the pool — see
 /// docs/ARCHITECTURE.md, "Task-graph scheduler"). close() wakes all
-/// waiters; pop() returns nullopt once the channel is closed and empty.
+/// waiters; pop() returns nullopt once the channel is closed and empty,
+/// and pop_until_closed() bounds the wait so multiplexing consumers can
+/// drain several channels without parking on one.
 template <typename T>
 class BoundedChannel {
  public:
@@ -126,6 +137,27 @@ class BoundedChannel {
     --size_;
     not_full_.notify_one();
     return out;
+  }
+
+  /// Timed, drain-aware pop: kItem when an element arrived within
+  /// `timeout` (written to `out`), kTimedOut when the channel is still
+  /// open but stayed empty, kClosed only once the channel is closed AND
+  /// drained — items pushed before close() are still delivered, so a
+  /// consumer looping until kClosed never drops accepted work. A close()
+  /// wakes every waiter immediately; the timeout is an upper bound, not
+  /// a poll interval.
+  ChannelPopStatus pop_until_closed(T& out, std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mu_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return size_ > 0 || closed_; })) {
+      return ChannelPopStatus::kTimedOut;
+    }
+    if (size_ == 0) return ChannelPopStatus::kClosed;
+    out = buf_[head_];
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    not_full_.notify_one();
+    return ChannelPopStatus::kItem;
   }
 
   void close() {

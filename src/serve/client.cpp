@@ -1,0 +1,140 @@
+#include "serve/client.h"
+
+#ifndef _WIN32
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace ebv::serve {
+
+Client::Client(const std::string& socket_path)
+    : fd_(connect_unix(socket_path)) {}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_request_id_(other.next_request_id_) {}
+
+std::vector<std::uint8_t> Client::call(MsgType type,
+                                       std::span<const std::uint8_t> body) {
+  const std::uint64_t id = next_request_id_++;
+  if (!write_frame(fd_, type, Status::kOk, id, body)) {
+    throw std::runtime_error("serve connection lost while sending " +
+                             std::string(msg_type_name(type)));
+  }
+  ReadFrameResult frame = read_frame(fd_, kMaxResponseBody);
+  if (frame.outcome != ReadOutcome::kFrame) {
+    throw std::runtime_error(
+        "serve connection lost while awaiting " +
+        std::string(msg_type_name(type)) + " response" +
+        (frame.error.empty() ? "" : ": " + frame.error));
+  }
+  if (frame.header.request_id != id) {
+    throw std::runtime_error("response id mismatch (got " +
+                             std::to_string(frame.header.request_id) +
+                             ", expected " + std::to_string(id) + ")");
+  }
+  const auto status = static_cast<Status>(frame.header.status);
+  if (status != Status::kOk) {
+    throw ServeError(status,
+                     std::string(frame.body.begin(), frame.body.end()));
+  }
+  if (frame.header.type != static_cast<std::uint16_t>(type)) {
+    throw std::runtime_error("response type mismatch");
+  }
+  return std::move(frame.body);
+}
+
+void Client::ping() { (void)call(MsgType::kPing, {}); }
+
+std::string Client::stats(std::uint32_t graph_index) {
+  const auto body =
+      call(MsgType::kStats, encode_stats_request({graph_index}));
+  return {body.begin(), body.end()};
+}
+
+std::vector<DegreeInfo> Client::degrees(const DegreeRequest& req) {
+  return decode_degree_response(
+      call(MsgType::kDegree, encode_degree_request(req)));
+}
+
+NeighborsResponse Client::neighbors(const NeighborsRequest& req) {
+  return decode_neighbors_response(
+      call(MsgType::kNeighbors, encode_neighbors_request(req)));
+}
+
+std::vector<PartitionId> Client::partition_of(const PartitionRequest& req) {
+  return decode_partition_response(
+      call(MsgType::kPartition, encode_partition_request(req)));
+}
+
+std::vector<ReplicaInfo> Client::replicas(const ReplicasRequest& req) {
+  return decode_replicas_response(
+      call(MsgType::kReplicas, encode_replicas_request(req)));
+}
+
+std::string Client::run(const RunRequest& req) {
+  const auto body = call(MsgType::kRun, encode_run_request(req));
+  return {body.begin(), body.end()};
+}
+
+bool Client::send_raw(std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const auto n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+#ifdef MSG_NOSIGNAL
+                          MSG_NOSIGNAL
+#else
+                          0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+ReadFrameResult Client::read_response() {
+  return read_frame(fd_, kMaxResponseBody);
+}
+
+}  // namespace ebv::serve
+
+#else  // _WIN32
+
+namespace ebv::serve {
+
+Client::Client(const std::string&) {
+  throw std::runtime_error("ebvpart query is not supported on this platform");
+}
+Client::~Client() = default;
+Client::Client(Client&&) noexcept = default;
+std::vector<std::uint8_t> Client::call(MsgType, std::span<const std::uint8_t>) {
+  return {};
+}
+void Client::ping() {}
+std::string Client::stats(std::uint32_t) { return {}; }
+std::vector<DegreeInfo> Client::degrees(const DegreeRequest&) { return {}; }
+NeighborsResponse Client::neighbors(const NeighborsRequest&) { return {}; }
+std::vector<PartitionId> Client::partition_of(const PartitionRequest&) {
+  return {};
+}
+std::vector<ReplicaInfo> Client::replicas(const ReplicasRequest&) {
+  return {};
+}
+std::string Client::run(const RunRequest&) { return {}; }
+bool Client::send_raw(std::span<const std::uint8_t>) { return false; }
+ReadFrameResult Client::read_response() { return {}; }
+
+}  // namespace ebv::serve
+
+#endif

@@ -1,0 +1,71 @@
+// Synchronous EBVQ client used by `ebvpart query`, the golden tests and
+// the stress battery: one connection, sequential request/response pairs
+// with monotonically increasing request ids.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace ebv::serve {
+
+/// A response the server answered with a non-kOk status; `status` and the
+/// server's "error: ..." body are preserved so callers (and the CLI) can
+/// distinguish kOverloaded from kBadRequest from kShuttingDown.
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(Status status, std::string message)
+      : std::runtime_error(std::move(message)), status_(status) {}
+  [[nodiscard]] Status status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+class Client {
+ public:
+  /// Connects to the daemon's unix socket; throws std::runtime_error
+  /// (errno detail) on failure.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+
+  /// Raw round trip: send one frame, read one frame back. Returns the
+  /// kOk response body; throws ServeError for non-kOk responses and
+  /// std::runtime_error for transport failures (EOF, truncation,
+  /// response id/type mismatch).
+  std::vector<std::uint8_t> call(MsgType type,
+                                 std::span<const std::uint8_t> body);
+
+  // Typed wrappers over call().
+  void ping();
+  std::string stats(std::uint32_t graph_index = 0);
+  std::vector<DegreeInfo> degrees(const DegreeRequest& req);
+  NeighborsResponse neighbors(const NeighborsRequest& req);
+  std::vector<PartitionId> partition_of(const PartitionRequest& req);
+  std::vector<ReplicaInfo> replicas(const ReplicasRequest& req);
+  std::string run(const RunRequest& req);
+
+  /// Write arbitrary bytes on the socket, bypassing the frame encoder —
+  /// the hostile-input tests use this to send malformed frames.
+  bool send_raw(std::span<const std::uint8_t> bytes);
+  /// Read one frame off the socket (for inspecting error responses to
+  /// raw writes). Uses the response-side body cap.
+  ReadFrameResult read_response();
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace ebv::serve

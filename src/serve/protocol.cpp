@@ -1,0 +1,598 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace ebv::serve {
+
+namespace {
+
+void put_le(std::vector<std::uint8_t>& buf, std::uint64_t v, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    buf.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint64_t get_le(const unsigned char* p, std::size_t n) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+/// Shared batched-id decode: u32 count in [1, kMaxBatch], then count
+/// little-endian elements of `elem_bytes`.
+template <typename T>
+std::vector<T> decode_id_batch(PayloadReader& reader, const char* what) {
+  const std::uint32_t count = reader.u32();
+  if (count == 0) {
+    throw ProtocolError(std::string("zero-length ") + what + " batch");
+  }
+  if (count > kMaxBatch) {
+    throw ProtocolError(std::string(what) + " batch count " +
+                        std::to_string(count) + " exceeds the limit of " +
+                        std::to_string(kMaxBatch));
+  }
+  std::vector<T> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if constexpr (sizeof(T) == 8) {
+      out.push_back(static_cast<T>(reader.u64()));
+    } else {
+      out.push_back(static_cast<T>(reader.u32()));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kPing: return "ping";
+    case MsgType::kStats: return "stats";
+    case MsgType::kDegree: return "degree";
+    case MsgType::kNeighbors: return "neighbors";
+    case MsgType::kPartition: return "partition";
+    case MsgType::kReplicas: return "replicas";
+    case MsgType::kRun: return "run";
+  }
+  return "unknown";
+}
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "OK";
+    case Status::kOverloaded: return "OVERLOADED";
+    case Status::kBadRequest: return "BAD_REQUEST";
+    case Status::kShuttingDown: return "SHUTTING_DOWN";
+    case Status::kInternalError: return "INTERNAL_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+const char* class_name(RequestClass cls) {
+  switch (cls) {
+    case RequestClass::kStats: return "stats";
+    case RequestClass::kDegree: return "degree";
+    case RequestClass::kNeighbors: return "neighbors";
+    case RequestClass::kLookup: return "lookup";
+    case RequestClass::kRun: return "run";
+  }
+  return "unknown";
+}
+
+RequestClass class_of(MsgType type) {
+  switch (type) {
+    case MsgType::kStats: return RequestClass::kStats;
+    case MsgType::kDegree: return RequestClass::kDegree;
+    case MsgType::kNeighbors: return RequestClass::kNeighbors;
+    case MsgType::kPartition:
+    case MsgType::kReplicas: return RequestClass::kLookup;
+    case MsgType::kRun: return RequestClass::kRun;
+    case MsgType::kPing: break;  // answered inline, never queued
+  }
+  throw ProtocolError(std::string("message type has no admission class: ") +
+                      msg_type_name(type));
+}
+
+bool is_known_type(std::uint16_t type) {
+  return type <= static_cast<std::uint16_t>(MsgType::kRun);
+}
+
+void encode_frame_header(const FrameHeader& header,
+                         unsigned char out[kFrameHeaderBytes]) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(kFrameHeaderBytes);
+  put_le(buf, header.magic, 4);
+  put_le(buf, header.version, 2);
+  put_le(buf, header.type, 2);
+  put_le(buf, header.status, 2);
+  put_le(buf, header.reserved, 2);
+  put_le(buf, header.body_len, 4);
+  put_le(buf, header.request_id, 8);
+  std::memcpy(out, buf.data(), kFrameHeaderBytes);
+}
+
+FrameHeader decode_frame_header(const unsigned char in[kFrameHeaderBytes]) {
+  FrameHeader h;
+  h.magic = static_cast<std::uint32_t>(get_le(in, 4));
+  h.version = static_cast<std::uint16_t>(get_le(in + 4, 2));
+  h.type = static_cast<std::uint16_t>(get_le(in + 6, 2));
+  h.status = static_cast<std::uint16_t>(get_le(in + 8, 2));
+  h.reserved = static_cast<std::uint16_t>(get_le(in + 10, 2));
+  h.body_len = static_cast<std::uint32_t>(get_le(in + 12, 4));
+  h.request_id = get_le(in + 16, 8);
+  return h;
+}
+
+// --- PayloadWriter / PayloadReader ------------------------------------------
+
+void PayloadWriter::u16(std::uint16_t v) { put_le(buf_, v, 2); }
+void PayloadWriter::u32(std::uint32_t v) { put_le(buf_, v, 4); }
+void PayloadWriter::u64(std::uint64_t v) { put_le(buf_, v, 8); }
+
+void PayloadWriter::bytes(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void PayloadWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void PayloadReader::need(std::size_t n) const {
+  if (body_.size() - pos_ < n) {
+    throw ProtocolError("truncated payload (need " + std::to_string(n) +
+                        " bytes, " + std::to_string(body_.size() - pos_) +
+                        " left)");
+  }
+}
+
+std::uint8_t PayloadReader::u8() {
+  need(1);
+  return body_[pos_++];
+}
+
+std::uint16_t PayloadReader::u16() {
+  need(2);
+  const auto v = static_cast<std::uint16_t>(get_le(body_.data() + pos_, 2));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t PayloadReader::u32() {
+  need(4);
+  const auto v = static_cast<std::uint32_t>(get_le(body_.data() + pos_, 4));
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t PayloadReader::u64() {
+  need(8);
+  const std::uint64_t v = get_le(body_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+std::string PayloadReader::str(std::uint32_t max_len) {
+  const std::uint32_t len = u32();
+  if (len > max_len) {
+    throw ProtocolError("string length " + std::to_string(len) +
+                        " exceeds the limit of " + std::to_string(max_len));
+  }
+  need(len);
+  std::string out(reinterpret_cast<const char*>(body_.data() + pos_), len);
+  pos_ += len;
+  return out;
+}
+
+void PayloadReader::expect_end() const {
+  if (pos_ != body_.size()) {
+    throw ProtocolError("trailing bytes after payload (" +
+                        std::to_string(body_.size() - pos_) + " extra)");
+  }
+}
+
+// --- Request payloads -------------------------------------------------------
+
+std::vector<std::uint8_t> encode_stats_request(const StatsRequest& req) {
+  PayloadWriter w;
+  w.u32(req.graph_index);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_degree_request(const DegreeRequest& req) {
+  PayloadWriter w;
+  w.u32(req.graph_index);
+  w.u32(static_cast<std::uint32_t>(req.vertices.size()));
+  for (const VertexId v : req.vertices) w.u32(v);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_neighbors_request(
+    const NeighborsRequest& req) {
+  PayloadWriter w;
+  w.u32(req.graph_index);
+  w.u32(req.source);
+  w.u32(req.hops);
+  w.u32(req.limit);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_partition_request(
+    const PartitionRequest& req) {
+  PayloadWriter w;
+  w.u32(req.graph_index);
+  w.u32(static_cast<std::uint32_t>(req.edges.size()));
+  for (const EdgeId e : req.edges) w.u64(e);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_replicas_request(const ReplicasRequest& req) {
+  PayloadWriter w;
+  w.u32(req.graph_index);
+  w.u32(static_cast<std::uint32_t>(req.vertices.size()));
+  for (const VertexId v : req.vertices) w.u32(v);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_run_request(const RunRequest& req) {
+  PayloadWriter w;
+  w.u32(req.graph_index);
+  w.u8(req.app);
+  w.u32(req.parts);
+  w.u32(req.source);
+  w.u32(req.hops);
+  w.str(req.algo);
+  return w.take();
+}
+
+StatsRequest decode_stats_request(std::span<const std::uint8_t> body) {
+  PayloadReader r(body);
+  StatsRequest req;
+  req.graph_index = r.u32();
+  r.expect_end();
+  return req;
+}
+
+DegreeRequest decode_degree_request(std::span<const std::uint8_t> body) {
+  PayloadReader r(body);
+  DegreeRequest req;
+  req.graph_index = r.u32();
+  req.vertices = decode_id_batch<VertexId>(r, "degree");
+  r.expect_end();
+  return req;
+}
+
+NeighborsRequest decode_neighbors_request(std::span<const std::uint8_t> body) {
+  PayloadReader r(body);
+  NeighborsRequest req;
+  req.graph_index = r.u32();
+  req.source = r.u32();
+  req.hops = r.u32();
+  req.limit = r.u32();
+  r.expect_end();
+  if (req.hops == 0 || req.hops > kMaxHops) {
+    throw ProtocolError("neighbors hops must be in [1, " +
+                        std::to_string(kMaxHops) + "], got " +
+                        std::to_string(req.hops));
+  }
+  if (req.limit > kMaxNeighborhood) {
+    throw ProtocolError("neighbors limit " + std::to_string(req.limit) +
+                        " exceeds the cap of " +
+                        std::to_string(kMaxNeighborhood));
+  }
+  return req;
+}
+
+PartitionRequest decode_partition_request(std::span<const std::uint8_t> body) {
+  PayloadReader r(body);
+  PartitionRequest req;
+  req.graph_index = r.u32();
+  req.edges = decode_id_batch<EdgeId>(r, "partition");
+  r.expect_end();
+  return req;
+}
+
+ReplicasRequest decode_replicas_request(std::span<const std::uint8_t> body) {
+  PayloadReader r(body);
+  ReplicasRequest req;
+  req.graph_index = r.u32();
+  req.vertices = decode_id_batch<VertexId>(r, "replicas");
+  r.expect_end();
+  return req;
+}
+
+RunRequest decode_run_request(std::span<const std::uint8_t> body) {
+  PayloadReader r(body);
+  RunRequest req;
+  req.graph_index = r.u32();
+  req.app = r.u8();
+  req.parts = r.u32();
+  req.source = r.u32();
+  req.hops = r.u32();
+  req.algo = r.str(/*max_len=*/64);
+  r.expect_end();
+  if (req.app > 2) {
+    throw ProtocolError("run app selector must be 0 (cc), 1 (pr) or 2 "
+                        "(sssp), got " + std::to_string(req.app));
+  }
+  if (req.hops > kMaxHops) {
+    throw ProtocolError("run hops must be in [0, " + std::to_string(kMaxHops) +
+                        "], got " + std::to_string(req.hops));
+  }
+  return req;
+}
+
+// --- Response payloads ------------------------------------------------------
+
+std::vector<std::uint8_t> encode_degree_response(
+    std::span<const DegreeInfo> degrees) {
+  PayloadWriter w;
+  w.u32(static_cast<std::uint32_t>(degrees.size()));
+  for (const DegreeInfo& d : degrees) {
+    w.u32(d.out_degree);
+    w.u32(d.in_degree);
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_neighbors_response(
+    const NeighborsResponse& resp) {
+  PayloadWriter w;
+  w.u8(resp.truncated ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(resp.vertices.size()));
+  for (const VertexId v : resp.vertices) w.u32(v);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_partition_response(
+    std::span<const PartitionId> parts) {
+  PayloadWriter w;
+  w.u32(static_cast<std::uint32_t>(parts.size()));
+  for (const PartitionId p : parts) w.u32(p);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_replicas_response(
+    std::span<const ReplicaInfo> replicas) {
+  PayloadWriter w;
+  w.u32(static_cast<std::uint32_t>(replicas.size()));
+  for (const ReplicaInfo& r : replicas) {
+    w.u32(r.master);
+    w.u32(static_cast<std::uint32_t>(r.parts.size()));
+    for (const PartitionId p : r.parts) w.u32(p);
+  }
+  return w.take();
+}
+
+std::vector<DegreeInfo> decode_degree_response(
+    std::span<const std::uint8_t> body) {
+  PayloadReader r(body);
+  const std::uint32_t count = r.u32();
+  if (count > kMaxBatch) {
+    throw ProtocolError("degree response count exceeds the batch limit");
+  }
+  std::vector<DegreeInfo> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    DegreeInfo d;
+    d.out_degree = r.u32();
+    d.in_degree = r.u32();
+    out.push_back(d);
+  }
+  r.expect_end();
+  return out;
+}
+
+NeighborsResponse decode_neighbors_response(
+    std::span<const std::uint8_t> body) {
+  PayloadReader r(body);
+  NeighborsResponse resp;
+  resp.truncated = r.u8() != 0;
+  const std::uint32_t count = r.u32();
+  if (count > kMaxNeighborhood) {
+    throw ProtocolError("neighbors response count exceeds the cap");
+  }
+  resp.vertices.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) resp.vertices.push_back(r.u32());
+  r.expect_end();
+  return resp;
+}
+
+std::vector<PartitionId> decode_partition_response(
+    std::span<const std::uint8_t> body) {
+  PayloadReader r(body);
+  const std::uint32_t count = r.u32();
+  if (count > kMaxBatch) {
+    throw ProtocolError("partition response count exceeds the batch limit");
+  }
+  std::vector<PartitionId> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.push_back(r.u32());
+  r.expect_end();
+  return out;
+}
+
+std::vector<ReplicaInfo> decode_replicas_response(
+    std::span<const std::uint8_t> body) {
+  PayloadReader r(body);
+  const std::uint32_t count = r.u32();
+  if (count > kMaxBatch) {
+    throw ProtocolError("replicas response count exceeds the batch limit");
+  }
+  std::vector<ReplicaInfo> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ReplicaInfo info;
+    info.master = r.u32();
+    const std::uint32_t nparts = r.u32();
+    if (nparts > kMaxBatch) {
+      throw ProtocolError("replica part list exceeds the batch limit");
+    }
+    info.parts.reserve(nparts);
+    for (std::uint32_t p = 0; p < nparts; ++p) info.parts.push_back(r.u32());
+    out.push_back(std::move(info));
+  }
+  r.expect_end();
+  return out;
+}
+
+// --- Socket frame I/O -------------------------------------------------------
+
+#ifndef _WIN32
+
+namespace {
+
+/// send() the whole span, suppressing SIGPIPE; false on error/EPIPE.
+bool send_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd, data + sent, len - sent, 0);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read exactly `len` bytes. Returns len on success, 0 on immediate EOF,
+/// the partial count (or -1 on error) otherwise.
+ssize_t recv_all(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) return static_cast<ssize_t>(got);
+    got += static_cast<std::size_t>(n);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+}  // namespace
+
+bool write_frame(int fd, MsgType type, Status status, std::uint64_t request_id,
+                 std::span<const std::uint8_t> body) {
+  FrameHeader header;
+  header.type = static_cast<std::uint16_t>(type);
+  header.status = static_cast<std::uint16_t>(status);
+  header.body_len = static_cast<std::uint32_t>(body.size());
+  header.request_id = request_id;
+  unsigned char raw[kFrameHeaderBytes];
+  encode_frame_header(header, raw);
+  if (!send_all(fd, raw, kFrameHeaderBytes)) return false;
+  return body.empty() || send_all(fd, body.data(), body.size());
+}
+
+ReadFrameResult read_frame(int fd, std::uint32_t max_body) {
+  ReadFrameResult result;
+  unsigned char raw[kFrameHeaderBytes];
+  const ssize_t header_read = recv_all(fd, raw, kFrameHeaderBytes);
+  if (header_read == 0) {
+    result.outcome = ReadOutcome::kEof;
+    return result;
+  }
+  if (header_read != static_cast<ssize_t>(kFrameHeaderBytes)) {
+    result.outcome = ReadOutcome::kError;
+    result.error = "truncated frame header";
+    return result;
+  }
+  result.header = decode_frame_header(raw);
+  if (result.header.magic != kFrameMagic) {
+    result.outcome = ReadOutcome::kMalformed;
+    result.error = "bad frame magic";
+    return result;
+  }
+  if (result.header.version != kProtocolVersion) {
+    result.outcome = ReadOutcome::kMalformed;
+    result.error = "unsupported protocol version " +
+                   std::to_string(result.header.version);
+    return result;
+  }
+  if (result.header.reserved != 0) {
+    result.outcome = ReadOutcome::kMalformed;
+    result.error = "non-zero reserved header field";
+    return result;
+  }
+  // The cap is enforced BEFORE any allocation or body read: a hostile
+  // length prefix cannot drive an unbounded resize (binary_io.h rule).
+  if (result.header.body_len > max_body) {
+    result.outcome = ReadOutcome::kMalformed;
+    result.error = "frame body of " + std::to_string(result.header.body_len) +
+                   " bytes exceeds the limit of " + std::to_string(max_body);
+    return result;
+  }
+  result.body.resize(result.header.body_len);
+  if (result.header.body_len > 0) {
+    const ssize_t body_read =
+        recv_all(fd, result.body.data(), result.body.size());
+    if (body_read != static_cast<ssize_t>(result.body.size())) {
+      result.outcome = ReadOutcome::kError;
+      result.error = "truncated frame body";
+      return result;
+    }
+  }
+  result.outcome = ReadOutcome::kFrame;
+  return result;
+}
+
+int connect_unix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long for AF_UNIX: " +
+                             socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("socket(AF_UNIX) failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw std::runtime_error("connect(" + socket_path +
+                             ") failed: " + std::strerror(saved));
+  }
+  return fd;
+}
+
+#else  // _WIN32
+
+bool write_frame(int, MsgType, Status, std::uint64_t,
+                 std::span<const std::uint8_t>) {
+  throw std::runtime_error("ebvpart serve: not supported on this platform");
+}
+
+ReadFrameResult read_frame(int, std::uint32_t) {
+  throw std::runtime_error("ebvpart serve: not supported on this platform");
+}
+
+int connect_unix(const std::string&) {
+  throw std::runtime_error("ebvpart serve: not supported on this platform");
+}
+
+#endif
+
+}  // namespace ebv::serve

@@ -1,0 +1,437 @@
+#include "serve/server.h"
+
+#ifndef _WIN32
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/table.h"
+#include "common/format.h"
+#include "common/parallel.h"
+
+namespace ebv::serve {
+namespace {
+
+/// Nearest-rank percentile of an ascending-sorted sample, in the same
+/// unit as the sample. 0 for an empty sample.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::string ServerStats::to_table() const {
+  analysis::Table table({"class", "accepted", "completed", "overloaded",
+                         "bad", "errors", "q-max", "p50", "p95", "p99"});
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    const ClassStats& s = classes[c];
+    table.add_row({class_name(static_cast<RequestClass>(c)),
+                   with_commas(s.accepted), with_commas(s.completed),
+                   with_commas(s.rejected_overloaded),
+                   with_commas(s.rejected_bad),
+                   with_commas(s.internal_errors),
+                   std::to_string(s.depth_high_water),
+                   format_duration(s.p50_ms / 1e3),
+                   format_duration(s.p95_ms / 1e3),
+                   format_duration(s.p99_ms / 1e3)});
+  }
+  return table.to_string();
+}
+
+Server::Server(ServeContext context, ServerConfig config)
+    : context_(std::move(context)), config_(std::move(config)) {
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    queues_[c] =
+        std::make_unique<BoundedChannel<std::shared_ptr<PendingRequest>>>(
+            std::max<std::uint32_t>(config_.queue_depth[c], 1));
+  }
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket(" + config_.socket_path + ")");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(listen_fd_);
+    throw std::runtime_error("socket path too long: " + config_.socket_path);
+  }
+  std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  // A previous daemon that crashed leaves the inode behind; bind() would
+  // fail on it forever. The stale-sweep shape (common/stale_sweep.h)
+  // reclaims abandoned ones by pid; ours is re-created fresh here.
+  ::unlink(config_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    throw_errno("bind(" + config_.socket_path + ")");
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    ::unlink(config_.socket_path.c_str());
+    throw_errno("listen(" + config_.socket_path + ")");
+  }
+
+  started_ = std::chrono::steady_clock::now();
+  acceptor_ = std::thread([this] { accept_loop(); });
+  // run_team blocks its caller for the team's lifetime, so it gets a
+  // dedicated host thread; the team itself drains the admission queues.
+  worker_host_ = std::thread([this] {
+    ThreadPool::global().run_team(
+        std::max<std::uint32_t>(config_.num_workers, 1),
+        [this](unsigned rank, unsigned) { worker_loop(rank); });
+  });
+}
+
+Server::~Server() {
+  request_stop();
+  wait();
+}
+
+void Server::accept_loop() {
+  while (!draining_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    std::lock_guard lock(sessions_mu_);
+    reap_finished_sessions();
+    if (sessions_.size() >= config_.max_sessions ||
+        draining_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      continue;
+    }
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    sessions_accepted_.fetch_add(1, std::memory_order_relaxed);
+    session->reader =
+        std::thread([this, session] { session_loop(session); });
+    sessions_.push_back(std::move(session));
+  }
+}
+
+void Server::reap_finished_sessions() {
+  // Caller holds sessions_mu_.
+  std::erase_if(sessions_, [](const std::shared_ptr<Session>& s) {
+    if (!s->done.load(std::memory_order_acquire)) return false;
+    if (s->reader.joinable()) s->reader.join();
+    // The fd stays open until here: a worker may still be writing a
+    // response for a request this session enqueued before dying — it
+    // holds its own shared_ptr, so close only at erase time.
+    if (s->fd >= 0) ::close(s->fd);
+    s->fd = -1;
+    return true;
+  });
+}
+
+bool Server::respond(Session& session, MsgType type, Status status,
+                     std::uint64_t request_id,
+                     std::span<const std::uint8_t> body) {
+  std::lock_guard lock(session.write_mu);
+  return write_frame(session.fd, type, status, request_id, body);
+}
+
+bool Server::respond_error(Session& session, MsgType type, Status status,
+                           std::uint64_t request_id,
+                           const std::string& message) {
+  const std::string text = "error: " + message;
+  return respond(session, type, status, request_id,
+                 {reinterpret_cast<const std::uint8_t*>(text.data()),
+                  text.size()});
+}
+
+void Server::session_loop(const std::shared_ptr<Session>& session) {
+  while (true) {
+    ReadFrameResult frame = read_frame(session->fd, kMaxRequestBody);
+    if (frame.outcome == ReadOutcome::kEof ||
+        frame.outcome == ReadOutcome::kError) {
+      break;  // clean close or truncation/IO error — nothing to answer
+    }
+    if (frame.outcome == ReadOutcome::kMalformed) {
+      // Bad magic/version or hostile body_len: the stream cannot be
+      // trusted past the header, so answer once and hang up.
+      malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+      const MsgType echo = is_known_type(frame.header.type)
+                               ? static_cast<MsgType>(frame.header.type)
+                               : MsgType::kPing;
+      respond_error(*session, echo, Status::kBadRequest, frame.header.request_id,
+                    frame.error);
+      break;
+    }
+
+    if (!is_known_type(frame.header.type)) {
+      // The frame is structurally sound, so the stream stays usable.
+      respond_error(*session, MsgType::kPing, Status::kBadRequest,
+                    frame.header.request_id,
+                    "unknown message type " +
+                        std::to_string(frame.header.type));
+      continue;
+    }
+    const auto type = static_cast<MsgType>(frame.header.type);
+
+    if (type == MsgType::kPing) {
+      if (!respond(*session, MsgType::kPing, Status::kOk,
+                   frame.header.request_id, {})) {
+        break;
+      }
+      continue;
+    }
+
+    if (draining_.load(std::memory_order_acquire)) {
+      respond_error(*session, type, Status::kShuttingDown,
+                    frame.header.request_id, "server is draining");
+      continue;
+    }
+
+    const auto cls = static_cast<std::size_t>(class_of(type));
+    auto request = std::make_shared<PendingRequest>();
+    request->session = session;
+    request->type = type;
+    request->request_id = frame.header.request_id;
+    request->body = std::move(frame.body);
+    request->enqueued = std::chrono::steady_clock::now();
+
+    if (!queues_[cls]->try_push(request)) {
+      // Full (or closed by a concurrent drain): reject NOW — admission
+      // control means bounded queues, not unbounded buffering.
+      counters_[cls].rejected_overloaded.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      const Status status = draining_.load(std::memory_order_acquire)
+                                ? Status::kShuttingDown
+                                : Status::kOverloaded;
+      respond_error(*session, type, status, frame.header.request_id,
+                    std::string(class_name(static_cast<RequestClass>(cls))) +
+                        " queue is full; retry later");
+      continue;
+    }
+    counters_[cls].accepted.fetch_add(1, std::memory_order_relaxed);
+    session->pending.fetch_add(1, std::memory_order_acq_rel);
+    const std::uint32_t depth =
+        counters_[cls].depth.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::uint32_t high = counters_[cls].depth_high_water.load(
+        std::memory_order_relaxed);
+    while (depth > high &&
+           !counters_[cls].depth_high_water.compare_exchange_weak(
+               high, depth, std::memory_order_relaxed)) {
+    }
+  }
+  // The reader is finished (EOF, error or hang-up after a malformed
+  // frame), but requests this session already got admitted may still be
+  // in flight — every accepted request gets exactly one response, so
+  // wait them out, THEN close our half so the peer sees EOF promptly
+  // (a client probing "does the server hang up after a bad frame?"
+  // must not have to wait for the daemon to drain).
+  while (session->pending.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ::shutdown(session->fd, SHUT_RDWR);
+  session->done.store(true, std::memory_order_release);
+}
+
+void Server::worker_loop(unsigned rank) {
+  const std::size_t home = rank % kNumClasses;
+  std::array<bool, kNumClasses> drained{};
+  std::size_t num_drained = 0;
+  while (num_drained < kNumClasses) {
+    bool any = false;
+    for (std::size_t i = 0; i < kNumClasses; ++i) {
+      const std::size_t c = (home + i) % kNumClasses;
+      if (drained[c]) continue;
+      std::shared_ptr<PendingRequest> request;
+      while (queues_[c]->try_pop(request)) {
+        counters_[c].depth.fetch_sub(1, std::memory_order_relaxed);
+        process(*request);
+        request.reset();
+        any = true;
+      }
+    }
+    if (any) continue;
+    // Idle: park briefly on the home class (staggered by rank, so every
+    // class has a preferred waiter) — pop_until_closed is what tells
+    // "empty right now" (keep multiplexing) from "closed and drained"
+    // (this class is finished for good).
+    std::size_t c = home;
+    while (drained[c]) c = (c + 1) % kNumClasses;
+    std::shared_ptr<PendingRequest> request;
+    switch (queues_[c]->pop_until_closed(request,
+                                         std::chrono::milliseconds(2))) {
+      case ChannelPopStatus::kItem:
+        counters_[c].depth.fetch_sub(1, std::memory_order_relaxed);
+        process(*request);
+        break;
+      case ChannelPopStatus::kClosed:
+        drained[c] = true;
+        ++num_drained;
+        break;
+      case ChannelPopStatus::kTimedOut:
+        break;
+    }
+  }
+}
+
+void Server::process(const PendingRequest& request) {
+  const auto cls = static_cast<std::size_t>(class_of(request.type));
+  Status status = Status::kOk;
+  std::vector<std::uint8_t> body;
+  std::string error;
+  try {
+    body = handle_request(context_, request.type, request.body);
+    if (body.size() > kMaxResponseBody) {
+      status = Status::kInternalError;
+      error = "response of " + std::to_string(body.size()) +
+              " bytes exceeds the frame limit";
+    }
+  } catch (const ProtocolError& e) {
+    status = Status::kBadRequest;
+    error = e.what();
+  } catch (const BadRequestError& e) {
+    status = Status::kBadRequest;
+    error = e.what();
+  } catch (const std::invalid_argument& e) {
+    status = Status::kBadRequest;
+    error = e.what();
+  } catch (const std::exception& e) {
+    status = Status::kInternalError;
+    error = e.what();
+  }
+
+  if (status == Status::kOk) {
+    counters_[cls].completed.fetch_add(1, std::memory_order_relaxed);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - request.enqueued)
+                          .count();
+    {
+      std::lock_guard lock(lat_mu_);
+      latencies_ms_[cls].push_back(ms);
+    }
+    respond(*request.session, request.type, Status::kOk, request.request_id,
+            body);
+  } else {
+    auto& counter = status == Status::kBadRequest
+                        ? counters_[cls].rejected_bad
+                        : counters_[cls].internal_errors;
+    counter.fetch_add(1, std::memory_order_relaxed);
+    respond_error(*request.session, request.type, status, request.request_id,
+                  error);
+  }
+  request.session->pending.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Server::request_stop() {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  // Orderly drain; each step unblocks the next thread we join in wait().
+  // 1. The acceptor's poll loop observes draining_ within 100 ms.
+  // 2. Session readers are parked in recv(); SHUT_RD turns that into a
+  //    clean EOF without racing a worker's concurrent response write
+  //    (which a close() would).
+  std::lock_guard lock(sessions_mu_);
+  for (const auto& session : sessions_) {
+    if (session->fd >= 0) ::shutdown(session->fd, SHUT_RD);
+  }
+}
+
+void Server::wait() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    // request_stop() already shut the sockets down; join the readers.
+    std::lock_guard lock(sessions_mu_);
+    for (const auto& session : sessions_) {
+      if (session->reader.joinable()) session->reader.join();
+    }
+  }
+  // No reader is pushing any more: close the channels so the workers'
+  // pop_until_closed reports kClosed once each queue is drained...
+  for (auto& queue : queues_) queue->close();
+  // ...and every accepted request has been answered once they exit.
+  if (worker_host_.joinable()) worker_host_.join();
+  {
+    std::lock_guard lock(sessions_mu_);
+    for (const auto& session : sessions_) {
+      if (session->fd >= 0) ::close(session->fd);
+      session->fd = -1;
+    }
+    sessions_.clear();
+  }
+  ::unlink(config_.socket_path.c_str());
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  {
+    std::lock_guard lock(lat_mu_);
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
+      std::vector<double> sorted = latencies_ms_[c];
+      std::sort(sorted.begin(), sorted.end());
+      out.classes[c].p50_ms = percentile(sorted, 0.50);
+      out.classes[c].p95_ms = percentile(sorted, 0.95);
+      out.classes[c].p99_ms = percentile(sorted, 0.99);
+    }
+  }
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    const ClassCounters& k = counters_[c];
+    out.classes[c].accepted = k.accepted.load(std::memory_order_relaxed);
+    out.classes[c].completed = k.completed.load(std::memory_order_relaxed);
+    out.classes[c].rejected_overloaded =
+        k.rejected_overloaded.load(std::memory_order_relaxed);
+    out.classes[c].rejected_bad =
+        k.rejected_bad.load(std::memory_order_relaxed);
+    out.classes[c].internal_errors =
+        k.internal_errors.load(std::memory_order_relaxed);
+    out.classes[c].depth_high_water =
+        k.depth_high_water.load(std::memory_order_relaxed);
+  }
+  out.sessions_accepted = sessions_accepted_.load(std::memory_order_relaxed);
+  out.malformed_frames = malformed_frames_.load(std::memory_order_relaxed);
+  out.uptime_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - started_)
+                           .count();
+  return out;
+}
+
+}  // namespace ebv::serve
+
+#else  // _WIN32
+
+namespace ebv::serve {
+
+std::string ServerStats::to_table() const { return {}; }
+
+Server::Server(ServeContext, ServerConfig) {
+  throw std::runtime_error("ebvpart serve is not supported on this platform");
+}
+Server::~Server() = default;
+void Server::request_stop() {}
+void Server::wait() {}
+ServerStats Server::stats() const { return {}; }
+
+}  // namespace ebv::serve
+
+#endif

@@ -1,0 +1,171 @@
+// The snapshot-serving daemon behind `ebvpart serve`: a unix-domain
+// stream listener whose sessions decode EBVQ frames (serve/protocol.h)
+// and push them through per-class admission queues onto a
+// ThreadPool::run_team worker team.
+//
+// Admission control is the serving-side twin of the runtime's bounded
+// residency budget: each RequestClass owns a BoundedChannel with an
+// independent depth limit, so an expensive class (kRun) backing up
+// cannot grow memory without bound or starve the cheap lookup classes —
+// a request that finds its class queue full is rejected immediately
+// with Status::kOverloaded instead of being buffered. kPing never
+// queues (answered inline by the session reader), so health checks stay
+// responsive under full load.
+//
+// Shutdown is a graceful drain (request_stop(), typically from
+// SIGTERM): new requests are answered kShuttingDown, the listener
+// closes, session readers are unblocked via shutdown(SHUT_RD), the
+// admission channels close, and the worker team finishes every request
+// it already accepted — BoundedChannel::pop_until_closed() is what lets
+// a worker multiplexing five queues tell "idle" from "closed and fully
+// drained". Every accepted request gets exactly one response.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/task_graph.h"
+#include "serve/handlers.h"
+#include "serve/protocol.h"
+
+namespace ebv::serve {
+
+struct ServerConfig {
+  std::string socket_path;
+  /// Worker team size for request execution.
+  std::uint32_t num_workers = 2;
+  /// Admission-queue depth per RequestClass (indexed by RequestClass).
+  /// Cheap lookup classes get deeper queues than per-request analytics.
+  std::array<std::uint32_t, kNumClasses> queue_depth = {64, 256, 64, 256, 8};
+  std::uint32_t max_sessions = 64;
+};
+
+/// Monotonic per-class counters plus completed-request latencies.
+/// `depth`/`depth_high_water` observe the admission queue (the
+/// BoundedChannel capacity is what *enforces* the bound; these exist so
+/// the stress test and the stats table can see it was never exceeded).
+struct ClassCounters {
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> rejected_overloaded{0};
+  std::atomic<std::uint64_t> rejected_bad{0};
+  std::atomic<std::uint64_t> internal_errors{0};
+  std::atomic<std::uint32_t> depth{0};
+  std::atomic<std::uint32_t> depth_high_water{0};
+};
+
+/// Immutable snapshot of one class's counters + latency quantiles.
+struct ClassStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected_overloaded = 0;
+  std::uint64_t rejected_bad = 0;
+  std::uint64_t internal_errors = 0;
+  std::uint32_t depth_high_water = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+struct ServerStats {
+  std::array<ClassStats, kNumClasses> classes;
+  std::uint64_t sessions_accepted = 0;
+  std::uint64_t malformed_frames = 0;
+  double uptime_seconds = 0.0;
+
+  /// Rendered per-class table (the one `ebvpart serve` prints on drain).
+  [[nodiscard]] std::string to_table() const;
+};
+
+class Server {
+ public:
+  /// Binds and listens on config.socket_path (unlinking a stale socket
+  /// first) and starts the acceptor + worker team. Throws
+  /// std::runtime_error with errno detail on socket failures.
+  Server(ServeContext context, ServerConfig config);
+
+  /// Drains and joins if the caller never called request_stop()/wait().
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Begin the graceful drain described above. Idempotent, thread-safe,
+  /// and callable from a signal-watching thread.
+  void request_stop();
+
+  /// Block until the drain completed (listener closed, sessions joined,
+  /// queues drained, workers exited, socket unlinked).
+  void wait();
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return config_.socket_path;
+  }
+  [[nodiscard]] const ServeContext& context() const { return context_; }
+
+  /// Point-in-time counters; callable while serving.
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Session {
+    int fd = -1;
+    std::mutex write_mu;  // responses interleave worker + reader threads
+    std::thread reader;
+    std::atomic<std::uint32_t> pending{0};  // accepted, not yet responded
+    std::atomic<bool> done{false};
+  };
+
+  struct PendingRequest {
+    std::shared_ptr<Session> session;
+    MsgType type = MsgType::kPing;
+    std::uint64_t request_id = 0;
+    std::vector<std::uint8_t> body;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void accept_loop();
+  void session_loop(const std::shared_ptr<Session>& session);
+  void worker_loop(unsigned rank);
+  void process(const PendingRequest& request);
+  void reap_finished_sessions();
+  /// Serialises one frame onto the session socket under its write mutex.
+  static bool respond(Session& session, MsgType type, Status status,
+                      std::uint64_t request_id,
+                      std::span<const std::uint8_t> body);
+  static bool respond_error(Session& session, MsgType type, Status status,
+                            std::uint64_t request_id,
+                            const std::string& message);
+
+  ServeContext context_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+
+  std::array<std::unique_ptr<BoundedChannel<std::shared_ptr<PendingRequest>>>,
+             kNumClasses>
+      queues_;
+  std::array<ClassCounters, kNumClasses> counters_;
+  // Completed-request latencies, appended under lat_mu_ by workers.
+  std::array<std::vector<double>, kNumClasses> latencies_ms_;
+  mutable std::mutex lat_mu_;
+
+  std::atomic<std::uint64_t> sessions_accepted_{0};
+  std::atomic<std::uint64_t> malformed_frames_{0};
+  std::chrono::steady_clock::time_point started_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::thread acceptor_;
+  std::thread worker_host_;  // carries the blocking run_team call
+  std::mutex sessions_mu_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace ebv::serve

@@ -14,8 +14,12 @@
 #include <vector>
 
 #if !defined(_WIN32)
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
+
+#include <cstring>
 #endif
 
 #include "apps/cc.h"
@@ -338,11 +342,13 @@ TEST(StaleSweep, RecognisesExactlyTheTempShapes) {
   EXPECT_EQ(temp_file_owner_pid("ebv-workers.99-2.ebvw"), 99);
   EXPECT_EQ(temp_file_owner_pid("edges.ebvs.run3.77-1.tmp"), 77);
   EXPECT_EQ(temp_file_owner_pid("ckpt-00000005.ebvc.tmp.41-9"), 41);
+  EXPECT_EQ(temp_file_owner_pid("ebv-serve.314-2.sock"), 314);
   // Not temp files: published outputs and foreign names stay untouched.
   EXPECT_FALSE(temp_file_owner_pid("graph.ebvs").has_value());
   EXPECT_FALSE(temp_file_owner_pid("ckpt-00000005.ebvc").has_value());
   EXPECT_FALSE(temp_file_owner_pid("ebv-mbox.notapid.tmp").has_value());
   EXPECT_FALSE(temp_file_owner_pid("ebv-workers.12.ebvw").has_value());
+  EXPECT_FALSE(temp_file_owner_pid("ebv-serve.12.sock").has_value());
   EXPECT_FALSE(temp_file_owner_pid("readme.txt").has_value());
 }
 
@@ -375,7 +381,29 @@ TEST(StaleSweep, RemovesDeadOwnersKeepsLiveAndForeignFiles) {
   for (const auto& name : stale) { std::ofstream(dir + "/" + name) << "x"; }
   for (const auto& name : kept) { std::ofstream(dir + "/" + name) << "x"; }
 
-  EXPECT_EQ(sweep_stale_temp_files(dir), stale.size());
+  // A dead daemon's socket is a socket inode, not a regular file; the
+  // sweep must reclaim it all the same (and keep a live daemon's).
+  const auto make_socket = [&](const std::string& name) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    const std::string path = dir + "/" + name;
+    ASSERT_LT(path.size(), sizeof(addr.sun_path));
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    ::close(fd);  // the inode outlives the descriptor
+  };
+  const std::string stale_sock = "ebv-serve." + dead + "-1.sock";
+  const std::string kept_sock = "ebv-serve." + live + "-1.sock";
+  make_socket(stale_sock);
+  make_socket(kept_sock);
+
+  EXPECT_EQ(sweep_stale_temp_files(dir), stale.size() + 1);
+  EXPECT_FALSE(fs::exists(dir + "/" + stale_sock));
+  EXPECT_TRUE(fs::exists(dir + "/" + kept_sock));
   for (const auto& name : stale) {
     EXPECT_FALSE(fs::exists(dir + "/" + name)) << name;
   }

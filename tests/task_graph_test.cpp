@@ -228,6 +228,65 @@ TEST(BoundedChannel, BlockingPushAppliesBackpressure) {
   producer.join();
 }
 
+TEST(BoundedChannel, PopUntilClosedReturnsItemWhenAvailable) {
+  BoundedChannel<int> ch(4);
+  ASSERT_TRUE(ch.try_push(7));
+  int out = 0;
+  EXPECT_EQ(ch.pop_until_closed(out, std::chrono::milliseconds(0)),
+            ChannelPopStatus::kItem);
+  EXPECT_EQ(out, 7);
+}
+
+TEST(BoundedChannel, PopUntilClosedTimesOutOnOpenEmptyChannel) {
+  // The regression this API exists for: before pop_until_closed a worker
+  // blocked on an empty queue could not bound its wait, so it could not
+  // multiplex several queues or notice a drain request — pop() only
+  // returns on an item or on close.
+  BoundedChannel<int> ch(4);
+  int out = 0;
+  EXPECT_EQ(ch.pop_until_closed(out, std::chrono::milliseconds(1)),
+            ChannelPopStatus::kTimedOut);
+  EXPECT_FALSE(ch.closed());
+}
+
+TEST(BoundedChannel, PopUntilClosedDrainsBacklogBeforeReportingClosed) {
+  // Items accepted before close() must still be delivered: kClosed means
+  // closed AND drained, never "closed, items dropped".
+  BoundedChannel<int> ch(4);
+  ASSERT_TRUE(ch.try_push(1));
+  ASSERT_TRUE(ch.try_push(2));
+  ch.close();
+  int out = 0;
+  EXPECT_EQ(ch.pop_until_closed(out, std::chrono::milliseconds(0)),
+            ChannelPopStatus::kItem);
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(ch.pop_until_closed(out, std::chrono::milliseconds(0)),
+            ChannelPopStatus::kItem);
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(ch.pop_until_closed(out, std::chrono::milliseconds(0)),
+            ChannelPopStatus::kClosed);
+  // And it stays kClosed on every subsequent call.
+  EXPECT_EQ(ch.pop_until_closed(out, std::chrono::milliseconds(0)),
+            ChannelPopStatus::kClosed);
+}
+
+TEST(BoundedChannel, CloseWakesPopUntilClosedBeforeTimeout) {
+  // A worker parked with a long timeout must observe close() promptly —
+  // the drain path cannot afford to wait out the full timeout.
+  BoundedChannel<int> ch(4);
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    int out = 0;
+    // Hours-long timeout: only close() can end this wait in test time.
+    EXPECT_EQ(ch.pop_until_closed(out, std::chrono::milliseconds(3'600'000)),
+              ChannelPopStatus::kClosed);
+    done.store(true);
+  });
+  ch.close();
+  consumer.join();
+  EXPECT_TRUE(done.load());
+}
+
 TEST(BoundedChannelStress, ManyProducersOneConsumer) {
   // The MPSC shape the async mailboxes use, far over capacity so both the
   // blocking and wakeup paths run constantly.

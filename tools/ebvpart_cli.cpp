@@ -14,13 +14,21 @@
 // Graph files: .ebvg binary (ebvpart generate), .ebvs mmap snapshots
 // (ebvpart convert; --graph loads them resident, --mmap maps them
 // zero-copy) or plain text edge lists. Full reference: docs/CLI.md.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <filesystem>
+#include <functional>
 #include <iostream>
 #include <limits>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "analysis/experiment.h"
+#include "analysis/render.h"
 #include "analysis/table.h"
 #include "common/cli_args.h"
 #include "common/failpoint.h"
@@ -34,9 +42,17 @@
 #include "graph/mapped_graph.h"
 #include "graph/snapshot_convert.h"
 #include "graph/stats.h"
+#include "common/unique_id.h"
 #include "partition/metrics.h"
 #include "partition/partition_io.h"
 #include "partition/registry.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
 
 namespace {
 
@@ -168,18 +184,9 @@ int cmd_stats(const ArgMap& args) {
     }
     const MappedGraph mapped = open_mapped(args.at("mmap"));
     const GraphStats s = compute_stats(mapped.view());
-    analysis::Table table({"metric", "value"});
-    table.add_row({"vertices", with_commas(s.num_vertices)});
-    table.add_row({"edges", with_commas(s.num_edges)});
-    table.add_row({"average degree", format_fixed(s.average_degree, 2)});
-    table.add_row({"max total degree", with_commas(s.max_total_degree)});
-    table.add_row({"isolated vertices", with_commas(s.isolated_vertices)});
-    table.add_row({"power-law eta", format_fixed(s.eta, 2)});
-    table.add_row({"mapped MB",
-                   format_fixed(static_cast<double>(mapped.mapped_bytes()) /
-                                    1e6,
-                                1)});
-    table.print(std::cout);
+    // Shared renderer: the serve daemon's kStats responses go through the
+    // same function, so daemon output is byte-identical to this command.
+    std::cout << analysis::format_mmap_stats_table(s, mapped.mapped_bytes());
     return 0;
   }
   const Graph graph = load_graph(get(args, "graph"));
@@ -382,30 +389,455 @@ int cmd_run(const ArgMap& args) {
                                             options);
   }
 
-  analysis::Table table({"metric", "value"});
-  table.add_row({"app", app_name});
-  table.add_row({"workers", std::to_string(result.num_parts)});
-  table.add_row({"supersteps", std::to_string(result.run.supersteps)});
-  table.add_row({"messages", with_commas(result.run.total_messages)});
-  if (options.combine_messages) {
-    // Only under --combine 1: the default table stays byte-identical
-    // across residency budgets (the CI e2e diffs them).
-    table.add_row({"messages (raw)", with_commas(result.run.raw_messages)});
-  }
-  table.add_row(
-      {"comp (avg)", format_duration(result.run.comp_seconds)});
-  table.add_row(
-      {"comm (avg)", format_duration(result.run.comm_seconds)});
-  table.add_row({"delta C", format_duration(result.run.delta_c_seconds)});
-  table.add_row(
-      {"execution time", format_duration(result.run.execution_seconds)});
-  table.print(std::cout);
+  // Shared renderer: the serve daemon's kRun responses go through the
+  // same function, so daemon output is byte-identical to this command.
+  std::cout << analysis::format_run_table(app_name, result,
+                                          options.combine_messages);
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// serve / query: the snapshot-serving daemon and its protocol client.
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(csv.substr(start));
+      break;
+    }
+    out.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> parse_id_list(const std::string& csv,
+                                         std::uint64_t max_value,
+                                         const std::string& flag) {
+  std::vector<std::uint64_t> out;
+  for (const std::string& token : split_csv(csv)) {
+    if (token.empty()) {
+      throw std::invalid_argument("--" + flag + ": empty list entry");
+    }
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(token, &used);
+    if (used != token.size() || value > max_value) {
+      throw std::invalid_argument("--" + flag + ": bad id '" + token + "'");
+    }
+    out.push_back(value);
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("--" + flag + " needs at least one id");
+  }
+  return out;
+}
+
+volatile std::sig_atomic_t g_serve_stop = 0;
+extern "C" void serve_signal_handler(int) { g_serve_stop = 1; }
+
+int cmd_serve(const ArgMap& args) {
+  serve::ServerConfig config;
+  const std::string default_socket =
+      (std::filesystem::temp_directory_path() /
+       ("ebv-serve." + process_unique_suffix() + ".sock"))
+          .string();
+  config.socket_path = get(args, "socket", default_socket);
+  config.num_workers =
+      static_cast<std::uint32_t>(get_uint(args, "workers", "2", 256));
+  config.max_sessions =
+      static_cast<std::uint32_t>(get_uint(args, "max-sessions", "64", 4096));
+  if (args.count("queues") != 0) {
+    // --queues S,D,N,L,R: admission depth per class, in RequestClass
+    // order (stats, degree, neighbors, lookup, run).
+    const auto depths =
+        parse_id_list(args.at("queues"), 1u << 20, "queues");
+    if (depths.size() != serve::kNumClasses) {
+      throw std::invalid_argument("--queues needs exactly " +
+                                  std::to_string(serve::kNumClasses) +
+                                  " comma-separated depths");
+    }
+    for (std::size_t c = 0; c < serve::kNumClasses; ++c) {
+      config.queue_depth[c] = static_cast<std::uint32_t>(depths[c]);
+    }
+  }
+
+  serve::ServeContext context;
+  context.limits.neighbor_limit = static_cast<std::uint32_t>(get_uint(
+      args, "neighbor-limit", "65536", serve::kMaxNeighborhood));
+  context.limits.max_run_parts = static_cast<std::uint32_t>(
+      get_uint(args, "max-run-parts", "256", kPartsMax));
+
+  // Reclaim leftovers from crashed daemons (their .sock inodes) and
+  // spilled routing builds before creating ours.
+  {
+    const std::filesystem::path sock(config.socket_path);
+    sweep_stale_temp_files(sock.has_parent_path()
+                               ? sock.parent_path().string()
+                               : std::string("."));
+  }
+  const std::string spill_dir =
+      args.count("spill-dir") != 0 ? args.at("spill-dir") : std::string();
+  if (!spill_dir.empty()) sweep_stale_temp_files(spill_dir);
+
+  // --mmap a.ebvs[,b.ebvs...] with optional positional --partition
+  // p.ebvp[,...] ("-" skips a snapshot). Each pair also builds the
+  // replica/master routing tables (DistributedGraph); --spill-dir routes
+  // that construction through an EBVW worker-spill snapshot so only the
+  // O(|V|) routing tables stay resident.
+  const std::vector<std::string> snapshots = split_csv(get(args, "mmap"));
+  std::vector<std::string> partitions;
+  if (args.count("partition") != 0) {
+    partitions = split_csv(args.at("partition"));
+    if (partitions.size() > snapshots.size()) {
+      throw std::invalid_argument(
+          "--partition lists more files than --mmap has snapshots");
+    }
+  }
+  std::vector<std::string> spill_files;  // removed after the drain
+  context.graphs.reserve(snapshots.size());
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    MappedGraph mapped = open_mapped(snapshots[i]);
+    const std::string name =
+        std::filesystem::path(snapshots[i]).stem().string();
+    context.graphs.emplace_back(name, snapshots[i], std::move(mapped));
+    serve::GraphEntry& entry = context.graphs.back();
+    if (i >= partitions.size() || partitions[i].empty() ||
+        partitions[i] == "-") {
+      continue;
+    }
+    EdgePartition partition =
+        io::read_partition_binary_file(partitions[i]);
+    if (partition.part_of_edge.size() != entry.mapped.num_edges()) {
+      throw std::invalid_argument(
+          partitions[i] + " covers " +
+          std::to_string(partition.part_of_edge.size()) +
+          " edges but " + snapshots[i] + " has " +
+          std::to_string(entry.mapped.num_edges()));
+    }
+    bsp::DistributeOptions opts;
+    if (!spill_dir.empty()) {
+      opts.spill_path =
+          (std::filesystem::path(spill_dir) /
+           ("ebv-workers." + process_unique_suffix() + ".ebvw"))
+              .string();
+      spill_files.push_back(opts.spill_path);
+    }
+    entry.routing.emplace(entry.mapped.view(), partition, opts);
+    entry.partition.emplace(std::move(partition));
+  }
+
+  serve::Server server(std::move(context), std::move(config));
+#ifndef _WIN32
+  std::cout << "serving " << snapshots.size() << " snapshot(s) on "
+            << server.socket_path() << " (pid " << ::getpid() << ")"
+            << std::endl;
+#endif
+
+  // Graceful drain on SIGTERM/SIGINT; --duration S self-stops (CI/bench).
+  std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGINT, serve_signal_handler);
+  const auto duration_s = get_uint(args, "duration", "0", 86'400);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(duration_s);
+  while (g_serve_stop == 0 &&
+         (duration_s == 0 ||
+          std::chrono::steady_clock::now() < deadline)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cout << "draining..." << std::endl;
+  server.request_stop();
+  server.wait();
+  std::cout << server.stats().to_table();
+  for (const std::string& file : spill_files) {
+    std::error_code ec;
+    std::filesystem::remove(file, ec);
+  }
+  return 0;
+}
+
+int cmd_query(const ArgMap& args) {
+  const std::string socket = get(args, "socket");
+  const std::string op = get(args, "op");
+  const auto graph_index = static_cast<std::uint32_t>(
+      get_uint(args, "graph-index", "0", kU32Max));
+
+  if (op == "ping") {
+    serve::Client client(socket);
+    client.ping();
+    std::cout << "pong\n";
+    return 0;
+  }
+  if (op == "stats") {
+    serve::Client client(socket);
+    std::cout << client.stats(graph_index);
+    return 0;
+  }
+  if (op == "degree") {
+    serve::Client client(socket);
+    serve::DegreeRequest req;
+    req.graph_index = graph_index;
+    for (const auto v :
+         parse_id_list(get(args, "vertices"), kVertexMax, "vertices")) {
+      req.vertices.push_back(static_cast<VertexId>(v));
+    }
+    const auto degrees = client.degrees(req);
+    for (std::size_t i = 0; i < degrees.size(); ++i) {
+      std::cout << req.vertices[i] << " " << degrees[i].out_degree << " "
+                << degrees[i].in_degree << "\n";
+    }
+    return 0;
+  }
+  if (op == "neighbors") {
+    serve::Client client(socket);
+    serve::NeighborsRequest req;
+    req.graph_index = graph_index;
+    req.source =
+        static_cast<VertexId>(get_uint(args, "source", "", kVertexMax));
+    req.hops = static_cast<std::uint32_t>(
+        get_uint(args, "hops", "1", serve::kMaxHops));
+    req.limit = static_cast<std::uint32_t>(
+        get_uint(args, "limit", "0", serve::kMaxNeighborhood));
+    const serve::NeighborsResponse resp = client.neighbors(req);
+    for (const VertexId v : resp.vertices) std::cout << v << "\n";
+    if (resp.truncated) std::cerr << "note: neighborhood truncated\n";
+    return 0;
+  }
+  if (op == "partition") {
+    serve::Client client(socket);
+    serve::PartitionRequest req;
+    req.graph_index = graph_index;
+    req.edges = parse_id_list(get(args, "edges"),
+                              std::numeric_limits<EdgeId>::max(), "edges");
+    const auto parts = client.partition_of(req);
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      std::cout << req.edges[i] << " " << parts[i] << "\n";
+    }
+    return 0;
+  }
+  if (op == "replicas") {
+    serve::Client client(socket);
+    serve::ReplicasRequest req;
+    req.graph_index = graph_index;
+    for (const auto v :
+         parse_id_list(get(args, "vertices"), kVertexMax, "vertices")) {
+      req.vertices.push_back(static_cast<VertexId>(v));
+    }
+    const auto replicas = client.replicas(req);
+    for (std::size_t i = 0; i < replicas.size(); ++i) {
+      std::cout << req.vertices[i] << " ";
+      if (replicas[i].master == kInvalidPartition) {
+        std::cout << "-";
+      } else {
+        std::cout << replicas[i].master;
+      }
+      for (std::size_t p = 0; p < replicas[i].parts.size(); ++p) {
+        std::cout << (p == 0 ? " " : ",") << replicas[i].parts[p];
+      }
+      std::cout << "\n";
+    }
+    return 0;
+  }
+  if (op == "run") {
+    serve::Client client(socket);
+    serve::RunRequest req;
+    req.graph_index = graph_index;
+    const std::string app = get(args, "app", "cc");
+    if (app == "cc") {
+      req.app = 0;
+    } else if (app == "pr") {
+      req.app = 1;
+    } else if (app == "sssp") {
+      req.app = 2;
+    } else {
+      throw std::invalid_argument("unknown app: " + app);
+    }
+    req.parts =
+        static_cast<std::uint32_t>(get_uint(args, "parts", "8", kPartsMax));
+    req.source =
+        static_cast<VertexId>(get_uint(args, "source", "0", kVertexMax));
+    req.hops = static_cast<std::uint32_t>(
+        get_uint(args, "hops", "0", serve::kMaxHops));
+    req.algo = get(args, "algo", "ebv");
+    std::cout << client.run(req);
+    return 0;
+  }
+  if (op == "badframe") {
+    // Hostile-input probe for the CI e2e: send one malformed frame, show
+    // the server's verdict, and verify it hangs up afterwards.
+    const std::string kind = get(args, "kind", "magic");
+    unsigned char header[serve::kFrameHeaderBytes];
+    serve::FrameHeader h;
+    h.type = static_cast<std::uint16_t>(serve::MsgType::kStats);
+    h.request_id = 7;
+    if (kind == "magic") {
+      h.magic = 0xDEADBEEFu;
+    } else if (kind == "version") {
+      h.version = 9'999;
+    } else if (kind == "reserved") {
+      h.reserved = 1;
+    } else if (kind == "oversized") {
+      h.body_len = 0xFFFF'FFFFu;  // hostile length prefix: reject, no alloc
+    } else if (kind == "truncated") {
+      h.body_len = 64;  // promise 64 body bytes, send none, close
+    } else {
+      throw std::invalid_argument("unknown badframe kind: " + kind);
+    }
+    serve::encode_frame_header(h, header);
+    serve::Client client(socket);
+    if (!client.send_raw({reinterpret_cast<const std::uint8_t*>(header),
+                          sizeof(header)})) {
+      throw std::runtime_error("send failed");
+    }
+    if (kind == "truncated") {
+      // Half-close so the server sees EOF mid-body; a clean close (no
+      // response) is the expected outcome.
+#ifndef _WIN32
+      ::shutdown(client.fd(), SHUT_WR);
+#endif
+      const auto frame = client.read_response();
+      std::cout << (frame.outcome == serve::ReadOutcome::kEof
+                        ? "closed\n"
+                        : "unexpected response\n");
+      return 0;
+    }
+    const auto frame = client.read_response();
+    if (frame.outcome != serve::ReadOutcome::kFrame) {
+      std::cout << "closed without response\n";
+      return 0;
+    }
+    std::cout << serve::status_name(
+                     static_cast<serve::Status>(frame.header.status))
+              << ": "
+              << std::string(frame.body.begin(), frame.body.end()) << "\n";
+    // The server must hang up after a malformed frame.
+    const auto next = client.read_response();
+    std::cout << (next.outcome == serve::ReadOutcome::kEof
+                      ? "connection closed\n"
+                      : "connection unexpectedly open\n");
+    return 0;
+  }
+  if (op == "burst") {
+    // Fire --count concurrent one-shot requests to pin admission
+    // control: with a bounded queue some must come back kOverloaded.
+    const auto count = static_cast<std::uint32_t>(
+        get_uint(args, "count", "32", 4096));
+    std::atomic<std::uint32_t> ok{0};
+    std::atomic<std::uint32_t> overloaded{0};
+    std::atomic<std::uint32_t> other{0};
+    std::vector<std::thread> threads;
+    threads.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      threads.emplace_back([&] {
+        try {
+          serve::Client client(socket);
+          (void)client.stats(graph_index);
+          ok.fetch_add(1);
+        } catch (const serve::ServeError& e) {
+          (e.status() == serve::Status::kOverloaded ? overloaded : other)
+              .fetch_add(1);
+        } catch (const std::exception&) {
+          other.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    std::cout << "ok " << ok.load() << "\noverloaded " << overloaded.load()
+              << "\nother " << other.load() << "\n";
+    return 0;
+  }
+  if (op == "bench") {
+    // Sequential per-class load; prints client-side throughput and
+    // latency quantiles (the daemon's drain table has the server view).
+    const auto count =
+        static_cast<std::uint32_t>(get_uint(args, "count", "100", 1u << 20));
+    serve::Client client(socket);
+    const auto quantile = [](std::vector<double>& ms, double q) {
+      std::sort(ms.begin(), ms.end());
+      if (ms.empty()) return 0.0;
+      const auto rank = static_cast<std::size_t>(
+          q * static_cast<double>(ms.size() - 1) + 0.5);
+      return ms[std::min(rank, ms.size() - 1)];
+    };
+    analysis::Table table(
+        {"class", "requests", "req/s", "p50", "p95", "p99"});
+    const auto bench_class =
+        [&](const std::string& label, std::uint32_t n,
+            const std::function<void(std::uint32_t)>& one) {
+          std::vector<double> ms;
+          ms.reserve(n);
+          const Timer wall;
+          for (std::uint32_t i = 0; i < n; ++i) {
+            const Timer t;
+            one(i);
+            ms.push_back(t.seconds() * 1e3);
+          }
+          const double elapsed = wall.seconds();
+          table.add_row({label, with_commas(n),
+                         format_fixed(n / std::max(elapsed, 1e-9), 1),
+                         format_duration(quantile(ms, 0.50) / 1e3),
+                         format_duration(quantile(ms, 0.95) / 1e3),
+                         format_duration(quantile(ms, 0.99) / 1e3)});
+        };
+
+    bench_class("stats", std::max(1u, count / 10),
+                [&](std::uint32_t) { (void)client.stats(graph_index); });
+    bench_class("degree", count, [&](std::uint32_t i) {
+      serve::DegreeRequest req;
+      req.graph_index = graph_index;
+      req.vertices = {i % 1024};
+      (void)client.degrees(req);
+    });
+    bench_class("neighbors", count, [&](std::uint32_t i) {
+      serve::NeighborsRequest req;
+      req.graph_index = graph_index;
+      req.source = i % 1024;
+      req.hops = 2;
+      req.limit = 512;
+      (void)client.neighbors(req);
+    });
+    bool have_lookup = true;
+    try {
+      serve::PartitionRequest probe;
+      probe.graph_index = graph_index;
+      probe.edges = {0};
+      (void)client.partition_of(probe);
+    } catch (const serve::ServeError&) {
+      have_lookup = false;  // served without a partition
+    }
+    if (have_lookup) {
+      bench_class("lookup", count, [&](std::uint32_t i) {
+        if (i % 2 == 0) {
+          serve::PartitionRequest req;
+          req.graph_index = graph_index;
+          req.edges = {i % 4096};
+          (void)client.partition_of(req);
+        } else {
+          serve::ReplicasRequest req;
+          req.graph_index = graph_index;
+          req.vertices = {i % 1024};
+          (void)client.replicas(req);
+        }
+      });
+    }
+    bench_class("run", std::max(1u, count / 100), [&](std::uint32_t) {
+      serve::RunRequest req;
+      req.graph_index = graph_index;
+      req.app = 0;
+      req.parts = 8;
+      (void)client.run(req);
+    });
+    table.print(std::cout);
+    return 0;
+  }
+  throw std::invalid_argument("unknown op: " + op);
 }
 
 void print_usage(std::ostream& out) {
   // Keep in lockstep with docs/CLI.md (the CI docs check greps both).
-  out << "usage: ebvpart <generate|convert|stats|partition|run> [--flag value]...\n"
+  out << "usage: ebvpart <generate|convert|stats|partition|run|serve|query> [--flag value]...\n"
          "\n"
          "  generate  --family powerlaw|road|uniform|ba --out g.{ebvg,ebvs,txt}\n"
          "            [--vertices N] [--edges M] [--eta H] [--seed S]\n"
@@ -428,6 +860,19 @@ void print_usage(std::ostream& out) {
          "            [--async 0|1] [--prefetch 0|1]\n"
          "            [--checkpoint-dir DIR] [--checkpoint-every N]\n"
          "            [--resume 0|1]\n"
+         "  serve     --mmap g.ebvs[,h.ebvs...] [--partition p.ebvp[,...]]\n"
+         "            [--socket PATH] [--workers N] [--queues S,D,N,L,R]\n"
+         "            [--max-sessions N] [--neighbor-limit N]\n"
+         "            [--max-run-parts P] [--spill-dir DIR] [--duration S]\n"
+         "            long-lived daemon serving EBVQ queries over a unix\n"
+         "            socket; drains gracefully on SIGTERM/SIGINT and\n"
+         "            prints a per-class stats table\n"
+         "  query     --socket PATH --op ping|stats|degree|neighbors|\n"
+         "            partition|replicas|run|badframe|burst|bench\n"
+         "            [--graph-index I] [--vertices A,B,...] [--edges A,B,...]\n"
+         "            [--source V] [--hops K] [--limit N] [--app cc|pr|sssp]\n"
+         "            [--parts P] [--algo ebv] [--kind magic|version|reserved|\n"
+         "            oversized|truncated] [--count N]\n"
          "\n"
          "--mmap maps an EBVS snapshot read-only and streams partitioning —\n"
          "and, for run, distributed-graph construction and the BSP\n"
@@ -474,6 +919,8 @@ int main(int argc, char** argv) {
     if (command == "stats") return cmd_stats(args);
     if (command == "partition") return cmd_partition(args);
     if (command == "run") return cmd_run(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "query") return cmd_query(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
