@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Self-tests for scripts/ebvlint.py: every rule's hit, miss, and
+allowlist paths, plus the end-to-end scan driver. Dependency-free:
+
+    python3 scripts/ebvlint_test.py
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import ebvlint  # noqa: E402
+
+
+def rules_hit(rel_path, text):
+    return sorted({f.rule for f in ebvlint.lint_file(rel_path, text)})
+
+
+class RawReadBoundaryTest(unittest.TestCase):
+    def test_hit_outside_boundary(self):
+        text = "auto* p = reinterpret_cast<const char*>(base);\n"
+        self.assertIn("raw-read-boundary", rules_hit("src/bsp/runtime.cpp", text))
+
+    def test_fread_hit(self):
+        text = "fread(buf, 1, n, f);\n"
+        self.assertIn("raw-read-boundary", rules_hit("src/bsp/runtime.cpp", text))
+
+    def test_miss_inside_boundary(self):
+        text = "auto* p = reinterpret_cast<const char*>(base);\n"
+        self.assertEqual(rules_hit("src/common/binary_io.h", text), [])
+
+    def test_inline_allow_same_line(self):
+        text = ("auto* p = reinterpret_cast<const char*>(x);  "
+                "// ebvlint: allow(raw-read-boundary): outbound view\n")
+        self.assertEqual(rules_hit("src/bsp/runtime.cpp", text), [])
+
+    def test_inline_allow_comment_block_above(self):
+        text = ("// ebvlint: allow(raw-read-boundary): outbound view\n"
+                "// of bytes this function owns.\n"
+                "auto* p = reinterpret_cast<const char*>(x);\n")
+        self.assertEqual(rules_hit("src/bsp/runtime.cpp", text), [])
+
+    def test_allow_does_not_leak_past_code_line(self):
+        text = ("// ebvlint: allow(raw-read-boundary): only the next line\n"
+                "auto* a = reinterpret_cast<const char*>(x);\n"
+                "auto* b = reinterpret_cast<const char*>(y);\n")
+        findings = ebvlint.lint_file("src/bsp/runtime.cpp", text)
+        self.assertEqual([f.line for f in findings], [3])
+
+    def test_allow_reason_is_mandatory(self):
+        text = ("// ebvlint: allow(raw-read-boundary):\n"
+                "auto* p = reinterpret_cast<const char*>(x);\n")
+        self.assertIn("raw-read-boundary", rules_hit("src/bsp/runtime.cpp", text))
+
+    def test_wrong_rule_name_does_not_allow(self):
+        text = ("// ebvlint: allow(naked-number-parse): wrong rule\n"
+                "auto* p = reinterpret_cast<const char*>(x);\n")
+        self.assertIn("raw-read-boundary", rules_hit("src/bsp/runtime.cpp", text))
+
+    def test_commented_out_code_ignored(self):
+        text = "// auto* p = reinterpret_cast<const char*>(base);\n"
+        self.assertEqual(rules_hit("src/bsp/runtime.cpp", text), [])
+
+
+class NakedNumberParseTest(unittest.TestCase):
+    def test_stoul_hit(self):
+        text = "auto v = std::stoul(s);\n"
+        self.assertIn("naked-number-parse", rules_hit("src/graph/io.cpp", text))
+
+    def test_strtol_hit(self):
+        text = "long v = strtol(s, nullptr, 10);\n"
+        self.assertIn("naked-number-parse", rules_hit("src/graph/io.cpp", text))
+
+    def test_miss_in_cli_args(self):
+        text = "auto v = std::stoul(s);\n"
+        self.assertEqual(rules_hit("src/common/cli_args.cpp", text), [])
+
+
+class NakedStreamWriteTest(unittest.TestCase):
+    def test_hit_outside_writer_modules(self):
+        text = "out.write(data, n);\n"
+        self.assertIn("naked-stream-write", rules_hit("src/serve/server.cpp", text))
+
+    def test_miss_in_writer_module(self):
+        text = "out_.write(data, n);\n"
+        self.assertEqual(rules_hit("src/bsp/spill_store.cpp", text), [])
+
+
+class UnannotatedMutexTest(unittest.TestCase):
+    def test_std_mutex_hit(self):
+        text = "std::mutex mu_;\n"
+        self.assertIn("unannotated-mutex", rules_hit("src/bsp/runtime.cpp", text))
+
+    def test_std_condition_variable_hit(self):
+        text = "std::condition_variable cv_;\n"
+        self.assertIn("unannotated-mutex", rules_hit("src/bsp/runtime.cpp", text))
+
+    def test_std_mutex_allowed_in_sync_h(self):
+        text = "std::mutex mu_;\n"
+        self.assertEqual(rules_hit("src/common/sync.h", text), [])
+
+    def test_partnerless_ebv_mutex_hit(self):
+        text = "Mutex mu_;\nint x = 0;\n"
+        findings = ebvlint.lint_file("src/bsp/runtime.cpp", text)
+        self.assertEqual([f.rule for f in findings], ["unannotated-mutex"])
+        self.assertIn("no thread-safety annotation partner",
+                      findings[0].message)
+
+    def test_guarded_partner_satisfies(self):
+        text = "Mutex mu_;\nint x EBV_GUARDED_BY(mu_) = 0;\n"
+        self.assertEqual(rules_hit("src/bsp/runtime.cpp", text), [])
+
+    def test_requires_partner_satisfies(self):
+        text = "mutable Mutex lat_mu_;\nvoid f() EBV_REQUIRES(lat_mu_);\n"
+        self.assertEqual(rules_hit("src/bsp/runtime.cpp", text), [])
+
+    def test_annotation_on_declaration_satisfies(self):
+        text = "Mutex submit_mutex EBV_ACQUIRED_BEFORE(other_mu);\n"
+        findings = [f for f in ebvlint.lint_file("src/bsp/runtime.cpp", text)
+                    if "submit_mutex" in f.message]
+        self.assertEqual(findings, [])
+
+    def test_partner_of_other_name_does_not_satisfy(self):
+        text = "Mutex a_mu;\nMutex b_mu;\nint x EBV_GUARDED_BY(a_mu) = 0;\n"
+        findings = ebvlint.lint_file("src/bsp/runtime.cpp", text)
+        self.assertEqual([f.line for f in findings], [2])
+
+    def test_inline_allow(self):
+        text = ("// ebvlint: allow(unannotated-mutex): guards no data,\n"
+                "// wakeup ordering only.\n"
+                "Mutex park_mu;\n")
+        self.assertEqual(rules_hit("src/bsp/runtime.cpp", text), [])
+
+
+class TempfileUniqueIdTest(unittest.TestCase):
+    def test_hit_without_unique_suffix(self):
+        text = 'std::string p = path + ".wspool.tmp";\n'
+        self.assertIn("tempfile-unique-id", rules_hit("src/graph/x.cpp", text))
+
+    def test_miss_with_unique_suffix_in_file(self):
+        text = ('std::string t = process_unique_suffix();\n'
+                'std::string p = path + ".run0." + t + ".tmp";\n')
+        self.assertEqual(rules_hit("src/graph/x.cpp", text), [])
+
+    def test_suffix_matching_is_not_creation(self):
+        # stale_sweep-style recognizers compare names, they don't build
+        # them — no '+ ".tmp"' concatenation, no finding.
+        text = 'if (ends_with(name, ".tmp")) return true;\n'
+        self.assertEqual(rules_hit("src/common/x.cpp", text), [])
+
+
+class DriverTest(unittest.TestCase):
+    def test_scan_tree_exit_codes(self):
+        with tempfile.TemporaryDirectory() as root:
+            os.makedirs(os.path.join(root, "src"))
+            clean = os.path.join(root, "src", "clean.cpp")
+            with open(clean, "w") as f:
+                f.write("int main() { return 0; }\n")
+            self.assertEqual(ebvlint.main(["--root", root]), 0)
+            dirty = os.path.join(root, "src", "dirty.cpp")
+            with open(dirty, "w") as f:
+                f.write("std::mutex mu;\n")
+            self.assertEqual(ebvlint.main(["--root", root]), 1)
+
+    def test_explicit_file_argument(self):
+        with tempfile.TemporaryDirectory() as root:
+            os.makedirs(os.path.join(root, "src"))
+            with open(os.path.join(root, "src", "a.cpp"), "w") as f:
+                f.write("std::mutex mu;\n")
+            self.assertEqual(ebvlint.main(["--root", root, "src/a.cpp"]), 1)
+
+    def test_block_comment_stripping(self):
+        text = "/* std::mutex mu;\n   reinterpret_cast<int*>(p); */\nint x;\n"
+        self.assertEqual(rules_hit("src/bsp/runtime.cpp", text), [])
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

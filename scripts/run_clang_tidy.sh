@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# Run the checked-in .clang-tidy configuration over src/ and tools/
+# against a compile_commands.json, with a content-hash result cache so
+# repeat runs (and the CI job via actions/cache) only re-analyse files
+# whose preprocessed inputs could have changed.
+#
+# Usage:
+#   scripts/run_clang_tidy.sh [--build-dir DIR] [--cache-dir DIR]
+#                             [--require] [--jobs N]
+#
+# Exit status: 0 clean (or tool unavailable without --require),
+# 1 findings, 2 setup error, 77 tool unavailable with --require off in
+# a context that distinguishes skips (ctest SKIP_RETURN_CODE).
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build"
+CACHE_DIR="${EBV_TIDY_CACHE:-$ROOT/.cache/clang-tidy}"
+REQUIRE=0
+JOBS="${EBV_TIDY_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --cache-dir) CACHE_DIR="$2"; shift 2 ;;
+    --require) REQUIRE=1; shift ;;
+    --jobs) JOBS="$2"; shift 2 ;;
+    *) echo "run_clang_tidy.sh: unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+# Probe for clang-tidy, newest first. The dev container may only have
+# GCC; the static-analysis CI job installs clang-tidy explicitly.
+TIDY=""
+for cand in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+            clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "$cand" >/dev/null 2>&1; then
+    TIDY="$cand"
+    break
+  fi
+done
+if [ -z "$TIDY" ]; then
+  if [ "$REQUIRE" = 1 ]; then
+    echo "run_clang_tidy.sh: clang-tidy not found and --require set" >&2
+    exit 2
+  fi
+  echo "run_clang_tidy.sh: clang-tidy not found; skipping (install" \
+       "clang-tidy or run the static-analysis CI job)" >&2
+  exit 77
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy.sh: $BUILD_DIR/compile_commands.json missing —" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+mkdir -p "$CACHE_DIR"
+
+# Cache key per file: clang-tidy version + .clang-tidy config + the
+# file's own content + every repo header it could include (a header
+# edit must invalidate dependents; hashing all of src/ is coarse but
+# sound, and the whole-tree hash is computed once).
+TREE_HASH="$( (
+  "$TIDY" --version
+  cat "$ROOT/.clang-tidy"
+  find "$ROOT/src" "$ROOT/tools" -name '*.h' -print0 | sort -z | xargs -0 cat
+) | sha256sum | cut -d' ' -f1)"
+
+mapfile -t SOURCES < <(find "$ROOT/src" "$ROOT/tools" -name '*.cpp' | sort)
+
+FAIL=0
+RAN=0
+CACHED=0
+run_one() {
+  local src="$1"
+  local file_hash key out
+  file_hash="$(sha256sum "$src" | cut -d' ' -f1)"
+  key="$CACHE_DIR/$(printf '%s' "$TREE_HASH:$file_hash" | sha256sum |
+                    cut -d' ' -f1)"
+  if [ -f "$key" ]; then
+    # Cached verdict: empty file = clean, else the stored findings.
+    if [ -s "$key" ]; then
+      cat "$key"
+      return 1
+    fi
+    return 0
+  fi
+  out="$("$TIDY" -p "$BUILD_DIR" --quiet "$src" 2>/dev/null)"
+  local status=$?
+  if [ $status -ne 0 ] || [ -n "$out" ]; then
+    printf '%s\n' "$out" > "$key.tmp.$$"
+    mv "$key.tmp.$$" "$key"
+    printf '%s\n' "$out"
+    return 1
+  fi
+  : > "$key.tmp.$$"
+  mv "$key.tmp.$$" "$key"
+  return 0
+}
+
+# Simple job pool: analyse up to $JOBS translation units concurrently.
+pids=()
+for src in "${SOURCES[@]}"; do
+  file_hash="$(sha256sum "$src" | cut -d' ' -f1)"
+  key="$CACHE_DIR/$(printf '%s' "$TREE_HASH:$file_hash" | sha256sum |
+                    cut -d' ' -f1)"
+  if [ -f "$key" ]; then
+    CACHED=$((CACHED + 1))
+    if [ -s "$key" ]; then
+      cat "$key"
+      FAIL=1
+    fi
+    continue
+  fi
+  run_one "$src" &
+  pids+=($!)
+  RAN=$((RAN + 1))
+  if [ "${#pids[@]}" -ge "$JOBS" ]; then
+    wait "${pids[0]}" || FAIL=1
+    pids=("${pids[@]:1}")
+  fi
+done
+for pid in "${pids[@]}"; do
+  wait "$pid" || FAIL=1
+done
+
+echo "run_clang_tidy.sh: ${#SOURCES[@]} files ($RAN analysed," \
+     "$CACHED cached) with $TIDY" >&2
+if [ "$FAIL" -ne 0 ]; then
+  echo "run_clang_tidy.sh: findings above — fix them or suppress" \
+       "inline (// NOLINT(check-name): reason)" >&2
+  exit 1
+fi
+echo "run_clang_tidy.sh: clean" >&2
+exit 0

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Drive the thread-safety negative-compile harness
+# (tests/static_analysis/CMakeLists.txt): probe for a Clang compiler,
+# configure the mini-project with it, and let its try_compile checks
+# assert that -Werror=thread-safety fires on the deliberate violations.
+#
+# Exit status: 0 all expectations held, 1 an expectation failed,
+# 2 setup error, 77 no Clang available (ctest SKIP_RETURN_CODE).
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+CLANGXX=""
+for cand in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+            clang++-16 clang++-15 clang++-14; do
+  if command -v "$cand" >/dev/null 2>&1; then
+    CLANGXX="$cand"
+    break
+  fi
+done
+if [ -z "$CLANGXX" ]; then
+  echo "run_negative_compile.sh: no clang++ found; skipping (the" \
+       "static-analysis CI job runs this with clang installed)" >&2
+  exit 77
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+if cmake -S "$ROOT/tests/static_analysis" -B "$WORK" \
+         -DCMAKE_CXX_COMPILER="$CLANGXX" >"$WORK/configure.log" 2>&1; then
+  grep -E 'pos_|neg_' "$WORK/configure.log" || true
+  echo "run_negative_compile.sh: all expectations held with $CLANGXX" >&2
+  exit 0
+fi
+cat "$WORK/configure.log" >&2
+echo "run_negative_compile.sh: FAILED — see log above" >&2
+exit 1

@@ -28,7 +28,6 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -37,7 +36,9 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/sync.h"
 #include "common/task_graph.h"
+#include "common/thread_annotations.h"
 
 namespace ebv::bsp {
 
@@ -176,28 +177,40 @@ class SharedMailbox {
   void enable_channel(std::size_t capacity) { channel_.emplace(capacity); }
 
   /// Exclusive-producer push: the caller must be the only producer at
-  /// this moment (the strict scheduler's chains guarantee it).
-  void push_serial(const T& msg) { box_.push(msg); }
+  /// this moment — the strict scheduler's ordering chains substitute
+  /// for mu_, and per-message locking on this hot path is exactly what
+  /// the strict mode is designed to avoid, so the analysis is opted out
+  /// rather than the lock taken.
+  void push_serial(const T& msg) EBV_NO_THREAD_SAFETY_ANALYSIS {
+    box_.push(msg);
+  }
 
   /// Any-producer push: ring first; mutex-guarded spill overflow when
   /// the ring is full. Never blocks on channel state (a blocked task
   /// would occupy a finite-pool executor).
-  void push_concurrent(const T& msg) {
+  void push_concurrent(const T& msg) EBV_EXCLUDES(mu_) {
     if (channel_.has_value() && channel_->try_push(msg)) return;
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     box_.push(msg);
   }
 
   /// Owner-only: combining's in-place rewrite window (strict mode).
-  [[nodiscard]] std::vector<T>& buffer() { return box_.buffer(); }
+  /// Lock-free like push_serial — the returned reference is used across
+  /// a whole superstep under the scheduler's exclusive-owner ordering,
+  /// which no lock scope could express.
+  [[nodiscard]] std::vector<T>& buffer() EBV_NO_THREAD_SAFETY_ANALYSIS {
+    return box_.buffer();
+  }
 
   /// Owner-only: every producer must be ordered before the caller.
+  /// Cold bulk path, so it simply takes mu_ (uncontended by contract).
   template <typename Fn>
-  void drain(Fn&& fn) {
+  void drain(Fn&& fn) EBV_EXCLUDES(mu_) {
     if (channel_.has_value()) {
       T msg;
       while (channel_->try_pop(msg)) fn(msg);
     }
+    MutexLock lock(mu_);
     box_.drain(fn);
   }
 
@@ -206,7 +219,8 @@ class SharedMailbox {
   /// visited and retained; within-mailbox order may differ from a
   /// subsequent drain under async, which its contract permits.
   template <typename Fn>
-  void for_each(Fn&& fn) {
+  void for_each(Fn&& fn) EBV_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (channel_.has_value()) {
       T msg;
       while (channel_->try_pop(msg)) box_.push(msg);
@@ -216,8 +230,10 @@ class SharedMailbox {
 
  private:
   std::optional<BoundedChannel<T>> channel_;
-  std::mutex mu_;
-  SpillMailbox<T> box_;
+  Mutex mu_;
+  /// Guarded on the concurrent paths; push_serial/buffer document their
+  /// scheduler-ordered exemption above.
+  SpillMailbox<T> box_ EBV_GUARDED_BY(mu_);
 };
 
 }  // namespace ebv::bsp

@@ -3,12 +3,12 @@
 #include <atomic>
 #include <cstdlib>
 #include <limits>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/assert.h"
+#include "common/sync.h"
 
 namespace ebv::failpoint {
 
@@ -30,9 +30,9 @@ struct Registry {
   std::unordered_map<std::string, std::uint64_t> hits;
 };
 
-std::mutex g_mutex;
-Registry g_registry;                 // guarded by g_mutex
-std::atomic<bool> g_active{false};   // fast path: any rules installed?
+Mutex g_mutex;
+Registry g_registry EBV_GUARDED_BY(g_mutex);
+std::atomic<bool> g_active{false};  // fast path: any rules installed?
 
 std::uint64_t fnv1a64(const std::string& s) {
   std::uint64_t h = 0xcbf29ce484222325ull;
@@ -73,6 +73,8 @@ std::uint64_t parse_u64(const std::string& text, const std::string& clause) {
   std::size_t used = 0;
   std::uint64_t value = 0;
   try {
+    // ebvlint: allow(naked-number-parse): full-string validated below
+    // (used must consume every character) with a clause-naming error.
     value = std::stoull(text, &used);
   } catch (const std::exception&) {
     used = 0;
@@ -119,6 +121,8 @@ Rule parse_rule(const std::string& clause) {
     rhs = rhs.substr(0, tilde);
     try {
       std::size_t used = 0;
+      // ebvlint: allow(naked-number-parse): full-string validated below
+      // (partial consumption resets prob to the rejected sentinel).
       rule.prob = std::stod(prob, &used);
       if (used != prob.size()) rule.prob = -1.0;
     } catch (const std::exception&) {
@@ -162,7 +166,7 @@ void configure(const std::string& spec) {
     }
     next.rules.push_back(parse_rule(clause));
   }
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   g_registry = std::move(next);
   g_active.store(!g_registry.rules.empty(), std::memory_order_release);
 }
@@ -173,7 +177,7 @@ void configure_from_env() {
 }
 
 void clear() {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   g_registry = Registry{};
   g_active.store(false, std::memory_order_release);
 }
@@ -182,7 +186,7 @@ bool active() { return g_active.load(std::memory_order_acquire); }
 
 Action hit(const char* site) {
   if (!active()) return Action::kNone;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   const std::uint64_t n = ++g_registry.hits[site];
   for (const Rule& rule : g_registry.rules) {
     if (rule.site != site) continue;

@@ -1,14 +1,15 @@
 #include "common/parallel.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdlib>
-#include <exception>
 #include <iostream>
-#include <mutex>
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "common/assert.h"
+#include "common/cli_args.h"
+#include "common/sync.h"
 
 namespace ebv {
 namespace {
@@ -17,10 +18,16 @@ namespace {
 /// thread run inline to avoid deadlock (the pool has one job at a time).
 thread_local bool t_inside_pool_body = false;
 
-/// Explicit size request for the lazily created global pool, and whether
-/// the pool has been created (after which requests can no longer apply).
-std::atomic<unsigned> g_requested_global_threads{0};
-std::atomic<bool> g_global_pool_created{false};
+/// Guards the explicit size request for the lazily created global pool
+/// and the created flag (after which requests can no longer apply).
+/// Previously two independent atomics, which left set_global_threads
+/// with a check-then-act race against a concurrent first global() use:
+/// the request could be stored after the creating thread had already
+/// sampled it yet before `created` was visible, reporting `true` for a
+/// request that never applied.
+Mutex g_pool_mutex;
+unsigned g_requested_global_threads EBV_GUARDED_BY(g_pool_mutex) = 0;
+bool g_global_pool_created EBV_GUARDED_BY(g_pool_mutex) = false;
 
 }  // namespace
 
@@ -42,18 +49,21 @@ struct ThreadPool::Job {
   /// for_range skips remaining chunks after a throw; run_team must not
   /// (unstarted ranks would strand barrier peers), so it clears this.
   bool skip_on_cancel = true;
-  std::exception_ptr error;  // guarded by Impl::mutex
+  FirstError error;
 };
 
 struct ThreadPool::Impl {
-  std::mutex mutex;
-  std::condition_variable work_cv;
-  std::condition_variable done_cv;
-  Job* job = nullptr;  // current job, owned by the caller's stack
-  std::uint64_t generation = 0;
-  unsigned live = 0;  // workers currently referencing `job`
-  bool stop = false;
-  std::mutex submit_mutex;  // serialises concurrent external callers
+  Mutex mutex;
+  CondVar work_cv;
+  CondVar done_cv;
+  Job* job EBV_GUARDED_BY(mutex) = nullptr;  // owned by the caller's stack
+  std::uint64_t generation EBV_GUARDED_BY(mutex) = 0;
+  unsigned live EBV_GUARDED_BY(mutex) = 0;  // workers referencing `job`
+  bool stop EBV_GUARDED_BY(mutex) = false;
+  /// Serialises concurrent external submitters: the caller holds it for a
+  /// whole job (publish, execute, drain), so at most one job is ever in
+  /// flight and every pool worker is idle whenever it is free.
+  Mutex submit_mutex EBV_ACQUIRED_BEFORE(mutex);
   std::vector<std::thread> workers;
 };
 
@@ -68,7 +78,7 @@ ThreadPool::ThreadPool(unsigned num_threads) : impl_(new Impl) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     impl_->stop = true;
   }
   impl_->work_cv.notify_all();
@@ -88,12 +98,11 @@ void ThreadPool::execute(Job& job) {
         job.body(begin, end);
       } catch (...) {
         job.cancelled.store(true, std::memory_order_relaxed);
-        std::lock_guard lock(impl_->mutex);
-        if (!job.error) job.error = std::current_exception();
+        job.error.capture();
       }
     }
     if (job.chunks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard lock(impl_->mutex);
+      MutexLock lock(impl_->mutex);
       impl_->done_cv.notify_all();
     }
   }
@@ -105,10 +114,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Job* job = nullptr;
     {
-      std::unique_lock lock(impl_->mutex);
-      impl_->work_cv.wait(lock, [&] {
-        return impl_->stop || impl_->generation != seen_generation;
-      });
+      MutexLock lock(impl_->mutex);
+      while (!impl_->stop && impl_->generation == seen_generation) {
+        impl_->work_cv.wait(impl_->mutex);
+      }
       if (impl_->stop) return;
       seen_generation = impl_->generation;
       job = impl_->job;
@@ -117,33 +126,20 @@ void ThreadPool::worker_loop() {
     }
     execute(*job);
     {
-      std::lock_guard lock(impl_->mutex);
+      MutexLock lock(impl_->mutex);
       --impl_->live;
     }
     impl_->done_cv.notify_all();
   }
 }
 
-void ThreadPool::for_range(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
-    std::size_t grain) {
-  if (n == 0) return;
-  if (grain == 0) {
-    grain = std::max<std::size_t>(1, n / (4 * num_threads()));
-  }
-  if (num_workers_ == 0 || t_inside_pool_body || n <= grain) {
-    body(0, n);
-    return;
-  }
-
-  std::lock_guard submit_lock(impl_->submit_mutex);
-  Job job;
-  job.body = body;
-  job.n = n;
-  job.grain = grain;
-  job.chunks_left.store((n + grain - 1) / grain, std::memory_order_relaxed);
+/// Publish `job` to the workers, participate, and drain: returns once
+/// every chunk retired and no worker still references the job's frame.
+/// Shared tail of for_range and pool-carried run_team.
+void ThreadPool::run_job(Job& job) {
+  MutexLock submit_lock(impl_->submit_mutex);
   {
-    std::lock_guard lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     impl_->job = &job;
     ++impl_->generation;
   }
@@ -151,13 +147,36 @@ void ThreadPool::for_range(
 
   execute(job);
 
-  std::unique_lock lock(impl_->mutex);
-  impl_->done_cv.wait(lock, [&] {
-    return job.chunks_left.load(std::memory_order_acquire) == 0 &&
-           impl_->live == 0;
-  });
+  MutexLock lock(impl_->mutex);
+  while (job.chunks_left.load(std::memory_order_acquire) != 0 ||
+         impl_->live != 0) {
+    impl_->done_cv.wait(impl_->mutex);
+  }
   impl_->job = nullptr;
-  if (job.error) std::rethrow_exception(job.error);
+}
+
+void ThreadPool::for_range(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  if (n == 0) return;
+  if (grain == 0) {
+    // std::size_t{4} keeps the multiply in the wide type: 4 * unsigned
+    // would compute in 32 bits and only then widen for the division
+    // (bugprone-implicit-widening-of-multiplication-result).
+    grain = std::max<std::size_t>(1, n / (std::size_t{4} * num_threads()));
+  }
+  if (num_workers_ == 0 || t_inside_pool_body || n <= grain) {
+    body(0, n);
+    return;
+  }
+
+  Job job;
+  job.body = body;
+  job.n = n;
+  job.grain = grain;
+  job.chunks_left.store((n + grain - 1) / grain, std::memory_order_relaxed);
+  run_job(job);
+  job.error.rethrow_if_set();
 }
 
 void ThreadPool::run_team(
@@ -182,8 +201,7 @@ void ThreadPool::run_team(
   // kinds, and run_team callers invoke it once per long-running
   // operation, not per item, so the spawn cost is noise).
   if (team > num_threads()) {
-    std::mutex error_mutex;
-    std::exception_ptr error;
+    FirstError error;
     std::vector<std::thread> extra;
     extra.reserve(team - 1);
     for (unsigned rank = 1; rank < team; ++rank) {
@@ -192,8 +210,7 @@ void ThreadPool::run_team(
         try {
           body(rank, team);
         } catch (...) {
-          std::lock_guard lock(error_mutex);
-          if (!error) error = std::current_exception();
+          error.capture();
         }
         t_inside_pool_body = false;
       });
@@ -202,19 +219,17 @@ void ThreadPool::run_team(
     try {
       body(0, team);
     } catch (...) {
-      std::lock_guard lock(error_mutex);
-      if (!error) error = std::current_exception();
+      error.capture();
     }
     t_inside_pool_body = false;
     for (std::thread& t : extra) t.join();
-    if (error) std::rethrow_exception(error);
+    error.rethrow_if_set();
     return;
   }
 
   // Each rank is one chunk; with the submit lock held every pool thread is
   // idle, so all `team` ranks run concurrently (an executor that claims a
   // rank keeps it until the body returns, and team <= num_threads()).
-  std::lock_guard submit_lock(impl_->submit_mutex);
   Job job;
   job.body = [&body, team](std::size_t begin, std::size_t) {
     body(static_cast<unsigned>(begin), team);
@@ -223,37 +238,27 @@ void ThreadPool::run_team(
   job.grain = 1;
   job.skip_on_cancel = false;
   job.chunks_left.store(team, std::memory_order_relaxed);
-  {
-    std::lock_guard lock(impl_->mutex);
-    impl_->job = &job;
-    ++impl_->generation;
-  }
-  impl_->work_cv.notify_all();
-
-  execute(job);
-
-  std::unique_lock lock(impl_->mutex);
-  impl_->done_cv.wait(lock, [&] {
-    return job.chunks_left.load(std::memory_order_acquire) == 0 &&
-           impl_->live == 0;
-  });
-  impl_->job = nullptr;
-  if (job.error) std::rethrow_exception(job.error);
+  run_job(job);
+  job.error.rethrow_if_set();
 }
 
 bool ThreadPool::inside_pool_body() { return t_inside_pool_body; }
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool([] {
-    g_global_pool_created.store(true, std::memory_order_release);
-    if (const unsigned requested =
-            g_requested_global_threads.load(std::memory_order_acquire);
-        requested > 0) {
-      return requested;
-    }
+    MutexLock lock(g_pool_mutex);
+    g_global_pool_created = true;
+    if (g_requested_global_threads > 0) return g_requested_global_threads;
     if (const char* env = std::getenv("EBV_THREADS")) {
-      const long parsed = std::strtol(env, nullptr, 10);
-      if (parsed > 0) return static_cast<unsigned>(parsed);
+      // Full-string validation via the shared parser: "8x" used to
+      // strtol-truncate to 8 threads; now malformed values are ignored
+      // (fall through to the hardware default) instead of half-parsed.
+      try {
+        const auto parsed = cli::parse_uint(
+            "EBV_THREADS", env, std::numeric_limits<unsigned>::max());
+        if (parsed > 0) return static_cast<unsigned>(parsed);
+      } catch (const std::invalid_argument&) {
+      }
     }
     return hardware_threads();
   }());
@@ -262,11 +267,19 @@ ThreadPool& ThreadPool::global() {
 
 bool ThreadPool::set_global_threads(unsigned num_threads) {
   if (num_threads == 0) return false;
-  if (g_global_pool_created.load(std::memory_order_acquire)) {
-    return global().num_threads() == num_threads;
+  bool created;
+  {
+    MutexLock lock(g_pool_mutex);
+    created = g_global_pool_created;
+    if (!created) {
+      g_requested_global_threads = num_threads;
+      return true;
+    }
   }
-  g_requested_global_threads.store(num_threads, std::memory_order_release);
-  return true;
+  // Created: the initializer already ran (it sets the flag under
+  // g_pool_mutex), so global() here can only block briefly on the magic
+  // static's guard, never on g_pool_mutex — no lock-order cycle.
+  return global().num_threads() == num_threads;
 }
 
 bool request_global_threads(unsigned num_threads) {

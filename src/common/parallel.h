@@ -84,7 +84,9 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Total executors (workers + calling thread).
+  /// Total executors (workers + calling thread). Lock-free by design:
+  /// num_workers_ is written once in the constructor and const
+  /// thereafter, so concurrent readers need no synchronisation.
   [[nodiscard]] unsigned num_threads() const {
     return static_cast<unsigned>(num_workers_) + 1;
   }
@@ -125,6 +127,7 @@ class ThreadPool {
   struct Job;
   void worker_loop();
   void execute(Job& job);
+  void run_job(Job& job);
 
   std::size_t num_workers_ = 0;
   struct Impl;

@@ -28,6 +28,8 @@ std::optional<long> parse_suffix_token(const std::string& token) {
       return std::nullopt;
     }
   }
+  // ebvlint: allow(naked-number-parse): every character was validated
+  // as a digit above, so partial-consumption truncation cannot happen.
   return std::strtol(token.c_str(), nullptr, 10);
 }
 
@@ -66,6 +68,15 @@ std::optional<long> temp_file_owner_pid(const std::string& file_name) {
     const std::size_t end = file_name.size() - std::string(".sock").size();
     if (end <= start) return std::nullopt;
     return parse_suffix_token(file_name.substr(start, end - start));
+  }
+  // Weight spool: <out>.wspool.<pid>-<n>.tmp
+  if (ends_with(file_name, ".tmp") &&
+      file_name.find(".wspool.") != std::string::npos) {
+    const std::string stem =
+        file_name.substr(0, file_name.size() - std::string(".tmp").size());
+    const std::size_t dot = stem.rfind('.');
+    if (dot == std::string::npos) return std::nullopt;
+    return parse_suffix_token(stem.substr(dot + 1));
   }
   // Converter run file: <out>.run<k>.<pid>-<n>.tmp
   if (ends_with(file_name, ".tmp") && file_name.find(".run") != std::string::npos) {

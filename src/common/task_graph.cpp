@@ -1,17 +1,53 @@
 #include "common/task_graph.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
-#include <exception>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 
 #include "common/assert.h"
 #include "common/parallel.h"
+#include "common/sync.h"
 
 namespace ebv {
+namespace {
+
+/// One work-stealing deque. File-scope (not a local struct) with
+/// internally-locking accessors so every dq access is machine-checked
+/// against mu — EBV_GUARDED_BY works on members, not locals, and the
+/// method form keeps the analysis from having to reason about which
+/// ranks[i].mu an open-coded lock_guard matched.
+struct StealRank {
+  Mutex mu;
+  std::deque<TaskGraph::TaskId> dq EBV_GUARDED_BY(mu);
+
+  void push(TaskGraph::TaskId t) EBV_EXCLUDES(mu) {
+    MutexLock lock(mu);
+    dq.push_back(t);
+  }
+
+  /// Owner end: newest first (LIFO) — dependents just pushed are the
+  /// hottest work. kNone when empty.
+  TaskGraph::TaskId pop_newest() EBV_EXCLUDES(mu) {
+    MutexLock lock(mu);
+    if (dq.empty()) return TaskGraph::kNone;
+    const TaskGraph::TaskId t = dq.back();
+    dq.pop_back();
+    return t;
+  }
+
+  /// Thief end: the victim's oldest entry — the end the owner isn't on.
+  /// kNone when empty.
+  TaskGraph::TaskId steal_oldest() EBV_EXCLUDES(mu) {
+    MutexLock lock(mu);
+    if (dq.empty()) return TaskGraph::kNone;
+    const TaskGraph::TaskId t = dq.front();
+    dq.pop_front();
+    return t;
+  }
+};
+
+}  // namespace
 
 TaskGraph::TaskId TaskGraph::add(std::function<void()> fn) {
   EBV_REQUIRE(!ran_, "TaskGraph is single-shot: add after run");
@@ -78,11 +114,7 @@ void TaskGraph::run(unsigned team_size) {
   }
 
   // --- Work-stealing execution -----------------------------------------
-  struct Rank {
-    std::mutex mu;
-    std::deque<TaskId> dq;
-  };
-  const std::unique_ptr<Rank[]> ranks(new Rank[team]);
+  const std::unique_ptr<StealRank[]> ranks(new StealRank[team]);
   std::vector<std::atomic<std::uint32_t>> pending(n);
   for (std::size_t t = 0; t < n; ++t) {
     pending[t].store(tasks_[t].num_deps, std::memory_order_relaxed);
@@ -92,7 +124,7 @@ void TaskGraph::run(unsigned team_size) {
     unsigned r = 0;
     for (std::size_t t = 0; t < n; ++t) {
       if (tasks_[t].num_deps == 0) {
-        ranks[r % team].dq.push_back(static_cast<TaskId>(t));
+        ranks[r % team].push(static_cast<TaskId>(t));
         ++r;
       }
     }
@@ -100,8 +132,7 @@ void TaskGraph::run(unsigned team_size) {
 
   std::atomic<std::size_t> remaining{n};
   std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mu;
+  FirstError error;
 
   // Idle-rank parking. A rank whose steal round finds every deque empty
   // sleeps on park_cv instead of spinning (long serial chains — the
@@ -117,45 +148,33 @@ void TaskGraph::run(unsigned team_size) {
   // fully blocked and receives the notify. No lost wakeups.
   std::atomic<std::uint64_t> work_epoch{0};
   std::atomic<unsigned> parked{0};
-  std::mutex park_mu;
-  std::condition_variable park_cv;
+  // ebvlint: allow(unannotated-mutex): park_mu guards no data — it only
+  // orders the wakeup handshake above; the predicate state (work_epoch,
+  // remaining) is atomics.
+  Mutex park_mu;
+  CondVar park_cv;
   auto announce_work = [&] {
     work_epoch.fetch_add(1);
     if (parked.load() == 0) return;
-    { std::lock_guard lock(park_mu); }
+    { MutexLock lock(park_mu); }
     park_cv.notify_all();
   };
 
   ThreadPool::global().run_team(team, [&](unsigned rank, unsigned t_size) {
     while (remaining.load(std::memory_order_acquire) > 0) {
       const std::uint64_t epoch = work_epoch.load();
-      TaskId task = kNone;
-      {
-        // Own deque: newest first (LIFO) — dependents just pushed are
-        // the hottest work.
-        std::lock_guard lock(ranks[rank].mu);
-        if (!ranks[rank].dq.empty()) {
-          task = ranks[rank].dq.back();
-          ranks[rank].dq.pop_back();
-        }
-      }
+      TaskId task = ranks[rank].pop_newest();
       for (unsigned off = 1; task == kNone && off < t_size; ++off) {
-        // Steal the victim's oldest entry — the end the owner isn't on.
-        Rank& victim = ranks[(rank + off) % t_size];
-        std::lock_guard lock(victim.mu);
-        if (!victim.dq.empty()) {
-          task = victim.dq.front();
-          victim.dq.pop_front();
-        }
+        task = ranks[(rank + off) % t_size].steal_oldest();
       }
       if (task == kNone) {
         parked.fetch_add(1);
         {
-          std::unique_lock lock(park_mu);
-          park_cv.wait(lock, [&] {
-            return work_epoch.load(std::memory_order_relaxed) != epoch ||
-                   remaining.load(std::memory_order_acquire) == 0;
-          });
+          MutexLock lock(park_mu);
+          while (work_epoch.load(std::memory_order_relaxed) == epoch &&
+                 remaining.load(std::memory_order_acquire) != 0) {
+            park_cv.wait(park_mu);
+          }
         }
         parked.fetch_sub(1);
         continue;
@@ -165,8 +184,7 @@ void TaskGraph::run(unsigned team_size) {
           tasks_[task].fn();
         } catch (...) {
           failed.store(true, std::memory_order_relaxed);
-          std::lock_guard lock(error_mu);
-          if (!error) error = std::current_exception();
+          error.capture();
         }
       }
       // Release dependents. acq_rel on the counter publishes everything
@@ -174,21 +192,20 @@ void TaskGraph::run(unsigned team_size) {
       bool pushed = false;
       for (const TaskId d : tasks_[task].dependents) {
         if (pending[d].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard lock(ranks[rank].mu);
-          ranks[rank].dq.push_back(d);
+          ranks[rank].push(d);
           pushed = true;
         }
       }
       if (pushed) announce_work();
       if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Graph drained: wake every parked rank so the team can retire.
-        { std::lock_guard lock(park_mu); }
+        { MutexLock lock(park_mu); }
         park_cv.notify_all();
       }
     }
   });
 
-  if (error) std::rethrow_exception(error);
+  error.rethrow_if_set();
 }
 
 }  // namespace ebv

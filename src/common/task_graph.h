@@ -24,14 +24,15 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
-#include <mutex>
 #include <optional>
 #include <vector>
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace ebv {
 
@@ -93,47 +94,47 @@ template <typename T>
 class BoundedChannel {
  public:
   explicit BoundedChannel(std::size_t capacity)
-      : buf_(capacity > 0 ? capacity : 1) {}
+      : capacity_(capacity > 0 ? capacity : 1), buf_(capacity_) {}
 
   /// False when full or closed; never blocks.
-  bool try_push(const T& v) {
-    std::lock_guard lock(mu_);
-    if (closed_ || size_ == buf_.size()) return false;
-    buf_[(head_ + size_) % buf_.size()] = v;
+  bool try_push(const T& v) EBV_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (closed_ || size_ == capacity_) return false;
+    buf_[(head_ + size_) % capacity_] = v;
     ++size_;
     not_empty_.notify_one();
     return true;
   }
 
   /// Blocks while full; false when the channel is (or becomes) closed.
-  bool push(const T& v) {
-    std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || size_ < buf_.size(); });
+  bool push(const T& v) EBV_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && size_ == capacity_) not_full_.wait(mu_);
     if (closed_) return false;
-    buf_[(head_ + size_) % buf_.size()] = v;
+    buf_[(head_ + size_) % capacity_] = v;
     ++size_;
     not_empty_.notify_one();
     return true;
   }
 
   /// False when empty; never blocks.
-  bool try_pop(T& out) {
-    std::lock_guard lock(mu_);
+  bool try_pop(T& out) EBV_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (size_ == 0) return false;
     out = buf_[head_];
-    head_ = (head_ + 1) % buf_.size();
+    head_ = (head_ + 1) % capacity_;
     --size_;
     not_full_.notify_one();
     return true;
   }
 
   /// Blocks until an item arrives; nullopt once closed and drained.
-  std::optional<T> pop() {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+  std::optional<T> pop() EBV_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (size_ == 0 && !closed_) not_empty_.wait(mu_);
     if (size_ == 0) return std::nullopt;
     T out = buf_[head_];
-    head_ = (head_ + 1) % buf_.size();
+    head_ = (head_ + 1) % capacity_;
     --size_;
     not_full_.notify_one();
     return out;
@@ -146,45 +147,51 @@ class BoundedChannel {
   /// consumer looping until kClosed never drops accepted work. A close()
   /// wakes every waiter immediately; the timeout is an upper bound, not
   /// a poll interval.
-  ChannelPopStatus pop_until_closed(T& out, std::chrono::milliseconds timeout) {
-    std::unique_lock lock(mu_);
-    if (!not_empty_.wait_for(lock, timeout,
-                             [&] { return size_ > 0 || closed_; })) {
-      return ChannelPopStatus::kTimedOut;
+  ChannelPopStatus pop_until_closed(T& out, std::chrono::milliseconds timeout)
+      EBV_EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mu_);
+    while (size_ == 0 && !closed_) {
+      if (not_empty_.wait_until(mu_, deadline) == std::cv_status::timeout) {
+        if (size_ == 0 && !closed_) return ChannelPopStatus::kTimedOut;
+        break;
+      }
     }
     if (size_ == 0) return ChannelPopStatus::kClosed;
     out = buf_[head_];
-    head_ = (head_ + 1) % buf_.size();
+    head_ = (head_ + 1) % capacity_;
     --size_;
     not_full_.notify_one();
     return ChannelPopStatus::kItem;
   }
 
-  void close() {
-    std::lock_guard lock(mu_);
+  void close() EBV_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
-  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mu_);
+  /// Fixed at construction, so no lock is needed (and none taken).
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const EBV_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return size_;
   }
-  [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] bool closed() const EBV_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::vector<T> buf_;
-  std::size_t head_ = 0;
-  std::size_t size_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  const std::size_t capacity_;
+  std::vector<T> buf_ EBV_GUARDED_BY(mu_);
+  std::size_t head_ EBV_GUARDED_BY(mu_) = 0;
+  std::size_t size_ EBV_GUARDED_BY(mu_) = 0;
+  bool closed_ EBV_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ebv

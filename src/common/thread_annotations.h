@@ -1,0 +1,80 @@
+// Clang thread-safety ("capability") analysis macros — the compile-time
+// half of the locking discipline documented in docs/ARCHITECTURE.md and
+// docs/STATIC_ANALYSIS.md.
+//
+// Every mutex-guarded member in the tree carries an EBV_GUARDED_BY
+// contract and every lock-assuming helper an EBV_REQUIRES one; a Clang
+// build with -Wthread-safety (wired as -Werror=thread-safety by the
+// static-analysis CI job and by default for Clang configures) then
+// rejects any access that does not provably hold the right lock. On
+// compilers without the attributes (GCC, MSVC) the macros compile away
+// to nothing, so the annotations cost non-Clang builds exactly zero.
+//
+// The macro set mirrors the documented attribute names
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) with an EBV_
+// prefix. Use them only through the capability types in
+// common/sync.h (ebv::Mutex / ebv::MutexLock / ebv::CondVar) — a raw
+// std::mutex is not a Clang capability, so annotations naming one would
+// silently not analyze; scripts/ebvlint.py's `unannotated-mutex` rule
+// rejects raw std::mutex members outside sync.h for exactly that reason.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define EBV_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define EBV_THREAD_ANNOTATION__(x)  // compiles away on non-Clang
+#endif
+
+/// Declares a type to be a capability ("mutex" in every diagnostic).
+#define EBV_CAPABILITY(x) EBV_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define EBV_SCOPED_CAPABILITY EBV_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member readable/writable only while holding the named mutex(es).
+#define EBV_GUARDED_BY(x) EBV_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose POINTEE is protected by the named mutex(es).
+#define EBV_PT_GUARDED_BY(x) EBV_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function that may only be called while holding the named mutex(es) —
+/// the annotation for lock-assuming internal helpers split out of public
+/// entry points.
+#define EBV_REQUIRES(...) \
+  EBV_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the named mutex(es) and returns holding them.
+#define EBV_ACQUIRE(...) \
+  EBV_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the named mutex(es).
+#define EBV_RELEASE(...) \
+  EBV_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function that acquires the mutex(es) only when it returns `ret`.
+#define EBV_TRY_ACQUIRE(ret, ...) \
+  EBV_THREAD_ANNOTATION__(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function that must NOT be called while holding the named mutex(es) —
+/// documents (and checks) "locks internally; calling under the lock
+/// would self-deadlock".
+#define EBV_EXCLUDES(...) EBV_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Declares that the function returns a reference to the named mutex.
+#define EBV_RETURN_CAPABILITY(x) EBV_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Lock-ordering declarations on mutex members: this mutex is always
+/// acquired before (resp. after) the named one. Documents the deadlock-
+/// freedom argument at the declaration site; Clang checks them under
+/// -Wthread-safety-beta.
+#define EBV_ACQUIRED_BEFORE(...) \
+  EBV_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define EBV_ACQUIRED_AFTER(...) \
+  EBV_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Escape hatch for locking the analysis cannot express. Every use MUST
+/// carry a comment naming the external ordering that substitutes for the
+/// lock (e.g. the task-graph scheduler's producer-before-consumer
+/// chains) — see docs/STATIC_ANALYSIS.md before adding one.
+#define EBV_NO_THREAD_SAFETY_ANALYSIS \
+  EBV_THREAD_ANNOTATION__(no_thread_safety_analysis)

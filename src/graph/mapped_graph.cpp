@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/unique_id.h"
 #include "graph/section_io.h"
 
 namespace ebv {
@@ -92,11 +93,17 @@ SnapshotWriter::SnapshotWriter(const std::string& path, std::string_view name,
     fail("cannot open for writing: " + path);
   }
   if (weighted) {
-    impl_->spool_path = path + ".wspool.tmp";
+    // The pid-unique suffix keeps two writers targeting the same output
+    // from clobbering each other's spool, and lets the stale sweep
+    // (common/stale_sweep.h) reclaim one left behind by a crash — the
+    // fixed ".wspool.tmp" name could do neither.
+    impl_->spool_path =
+        path + ".wspool." + process_unique_suffix() + ".tmp";
     impl_->spool.open(impl_->spool_path, std::ios::binary | std::ios::trunc);
     if (!impl_->spool) {
+      const std::string spool_path = impl_->spool_path;
       delete impl_;
-      fail("cannot open weight spool: " + path + ".wspool.tmp");
+      fail("cannot open weight spool: " + spool_path);
     }
   }
 

@@ -8,6 +8,7 @@
 
 #include "common/assert.h"
 #include "common/binary_io.h"
+#include "common/cli_args.h"
 
 namespace ebv::io {
 namespace {
@@ -57,7 +58,14 @@ EdgePartition read_partition(std::istream& in) {
   if (token.rfind("edges=", 0) != 0) {
     throw std::runtime_error("EBVP text: bad edge count");
   }
-  edges = std::stoull(token.substr(6));
+  // Full-string parse: std::stoull here accepted trailing junk
+  // ("edges=12x" parsed as 12) and leaked a bare std::invalid_argument
+  // on garbage instead of this reader's runtime_error contract.
+  try {
+    edges = cli::parse_uint("edges", token.substr(6));
+  } catch (const std::invalid_argument&) {
+    throw std::runtime_error("EBVP text: bad edge count");
+  }
   (void)skip;
 
   // Reserve is only a hint — cap it so a hostile header count cannot OOM.

@@ -76,6 +76,8 @@ Server::Server(ServeContext context, ServerConfig config)
   // fail on it forever. The stale-sweep shape (common/stale_sweep.h)
   // reclaims abandoned ones by pid; ours is re-created fresh here.
   ::unlink(config_.socket_path.c_str());
+  // ebvlint: allow(raw-read-boundary): POSIX sockaddr idiom, not a
+  // deserialising read — bind() only inspects the struct we just built.
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
     ::close(listen_fd_);
@@ -117,7 +119,7 @@ void Server::accept_loop() {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;
     }
-    std::lock_guard lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     reap_finished_sessions();
     if (sessions_.size() >= config_.max_sessions ||
         draining_.load(std::memory_order_acquire)) {
@@ -134,7 +136,6 @@ void Server::accept_loop() {
 }
 
 void Server::reap_finished_sessions() {
-  // Caller holds sessions_mu_.
   std::erase_if(sessions_, [](const std::shared_ptr<Session>& s) {
     if (!s->done.load(std::memory_order_acquire)) return false;
     if (s->reader.joinable()) s->reader.join();
@@ -150,7 +151,13 @@ void Server::reap_finished_sessions() {
 bool Server::respond(Session& session, MsgType type, Status status,
                      std::uint64_t request_id,
                      std::span<const std::uint8_t> body) {
-  std::lock_guard lock(session.write_mu);
+  MutexLock lock(session.write_mu);
+  return respond_locked(session, type, status, request_id, body);
+}
+
+bool Server::respond_locked(Session& session, MsgType type, Status status,
+                            std::uint64_t request_id,
+                            std::span<const std::uint8_t> body) {
   return write_frame(session.fd, type, status, request_id, body);
 }
 
@@ -158,9 +165,10 @@ bool Server::respond_error(Session& session, MsgType type, Status status,
                            std::uint64_t request_id,
                            const std::string& message) {
   const std::string text = "error: " + message;
-  return respond(session, type, status, request_id,
-                 {reinterpret_cast<const std::uint8_t*>(text.data()),
-                  text.size()});
+  // ebvlint: allow(raw-read-boundary): outbound byte view of a string
+  // this function owns — serialisation, not an unbounded read.
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(text.data());
+  return respond(session, type, status, request_id, {bytes, text.size()});
 }
 
 void Server::session_loop(const std::shared_ptr<Session>& session) {
@@ -324,7 +332,7 @@ void Server::process(const PendingRequest& request) {
                           std::chrono::steady_clock::now() - request.enqueued)
                           .count();
     {
-      std::lock_guard lock(lat_mu_);
+      MutexLock lock(lat_mu_);
       latencies_ms_[cls].push_back(ms);
     }
     respond(*request.session, request.type, Status::kOk, request.request_id,
@@ -347,7 +355,7 @@ void Server::request_stop() {
   // 2. Session readers are parked in recv(); SHUT_RD turns that into a
   //    clean EOF without racing a worker's concurrent response write
   //    (which a close() would).
-  std::lock_guard lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   for (const auto& session : sessions_) {
     if (session->fd >= 0) ::shutdown(session->fd, SHUT_RD);
   }
@@ -362,7 +370,7 @@ void Server::wait() {
   }
   {
     // request_stop() already shut the sockets down; join the readers.
-    std::lock_guard lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     for (const auto& session : sessions_) {
       if (session->reader.joinable()) session->reader.join();
     }
@@ -373,7 +381,7 @@ void Server::wait() {
   // ...and every accepted request has been answered once they exit.
   if (worker_host_.joinable()) worker_host_.join();
   {
-    std::lock_guard lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     for (const auto& session : sessions_) {
       if (session->fd >= 0) ::close(session->fd);
       session->fd = -1;
@@ -386,7 +394,7 @@ void Server::wait() {
 ServerStats Server::stats() const {
   ServerStats out;
   {
-    std::lock_guard lock(lat_mu_);
+    MutexLock lock(lat_mu_);
     for (std::size_t c = 0; c < kNumClasses; ++c) {
       std::vector<double> sorted = latencies_ms_[c];
       std::sort(sorted.begin(), sorted.end());

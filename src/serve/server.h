@@ -27,12 +27,13 @@
 #include <cstdint>
 #include <span>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/task_graph.h"
+#include "common/thread_annotations.h"
 #include "serve/handlers.h"
 #include "serve/protocol.h"
 
@@ -117,7 +118,9 @@ class Server {
  private:
   struct Session {
     int fd = -1;
-    std::mutex write_mu;  // responses interleave worker + reader threads
+    /// Responses interleave worker + reader threads; every frame write
+    /// goes through respond_locked(), which requires it.
+    Mutex write_mu;
     std::thread reader;
     std::atomic<std::uint32_t> pending{0};  // accepted, not yet responded
     std::atomic<bool> done{false};
@@ -135,14 +138,23 @@ class Server {
   void session_loop(const std::shared_ptr<Session>& session);
   void worker_loop(unsigned rank);
   void process(const PendingRequest& request);
-  void reap_finished_sessions();
+  /// Drops joined, fd-closed sessions from the table.
+  void reap_finished_sessions() EBV_REQUIRES(sessions_mu_);
   /// Serialises one frame onto the session socket under its write mutex.
   static bool respond(Session& session, MsgType type, Status status,
                       std::uint64_t request_id,
-                      std::span<const std::uint8_t> body);
+                      std::span<const std::uint8_t> body)
+      EBV_EXCLUDES(session.write_mu);
+  /// The write itself, split out so the lock-assuming half carries a
+  /// checkable contract.
+  static bool respond_locked(Session& session, MsgType type, Status status,
+                             std::uint64_t request_id,
+                             std::span<const std::uint8_t> body)
+      EBV_REQUIRES(session.write_mu);
   static bool respond_error(Session& session, MsgType type, Status status,
                             std::uint64_t request_id,
-                            const std::string& message);
+                            const std::string& message)
+      EBV_EXCLUDES(session.write_mu);
 
   ServeContext context_;
   ServerConfig config_;
@@ -152,9 +164,10 @@ class Server {
              kNumClasses>
       queues_;
   std::array<ClassCounters, kNumClasses> counters_;
-  // Completed-request latencies, appended under lat_mu_ by workers.
-  std::array<std::vector<double>, kNumClasses> latencies_ms_;
-  mutable std::mutex lat_mu_;
+  mutable Mutex lat_mu_;
+  /// Completed-request latencies, appended by workers.
+  std::array<std::vector<double>, kNumClasses> latencies_ms_
+      EBV_GUARDED_BY(lat_mu_);
 
   std::atomic<std::uint64_t> sessions_accepted_{0};
   std::atomic<std::uint64_t> malformed_frames_{0};
@@ -164,8 +177,8 @@ class Server {
   std::atomic<bool> stopped_{false};
   std::thread acceptor_;
   std::thread worker_host_;  // carries the blocking run_team call
-  std::mutex sessions_mu_;
-  std::vector<std::shared_ptr<Session>> sessions_;
+  Mutex sessions_mu_;
+  std::vector<std::shared_ptr<Session>> sessions_ EBV_GUARDED_BY(sessions_mu_);
 };
 
 }  // namespace ebv::serve

@@ -343,12 +343,14 @@ TEST(StaleSweep, RecognisesExactlyTheTempShapes) {
   EXPECT_EQ(temp_file_owner_pid("edges.ebvs.run3.77-1.tmp"), 77);
   EXPECT_EQ(temp_file_owner_pid("ckpt-00000005.ebvc.tmp.41-9"), 41);
   EXPECT_EQ(temp_file_owner_pid("ebv-serve.314-2.sock"), 314);
+  EXPECT_EQ(temp_file_owner_pid("graph.ebvs.wspool.55-3.tmp"), 55);
   // Not temp files: published outputs and foreign names stay untouched.
   EXPECT_FALSE(temp_file_owner_pid("graph.ebvs").has_value());
   EXPECT_FALSE(temp_file_owner_pid("ckpt-00000005.ebvc").has_value());
   EXPECT_FALSE(temp_file_owner_pid("ebv-mbox.notapid.tmp").has_value());
   EXPECT_FALSE(temp_file_owner_pid("ebv-workers.12.ebvw").has_value());
   EXPECT_FALSE(temp_file_owner_pid("ebv-serve.12.sock").has_value());
+  EXPECT_FALSE(temp_file_owner_pid("graph.ebvs.wspool.tmp").has_value());
   EXPECT_FALSE(temp_file_owner_pid("readme.txt").has_value());
 }
 

@@ -48,6 +48,12 @@ TEST(PartitionIo, TextRejectsMissingHeader) {
   EXPECT_THROW(io::read_partition(ss), std::runtime_error);
 }
 
+TEST(PartitionIo, TextRejectsTrailingJunkEdgeCount) {
+  // "edges=2x" must not parse as 2 (the count would even match below).
+  std::stringstream ss("# ebv partition p=2 edges=2x\n0\n1\n");
+  EXPECT_THROW(io::read_partition(ss), std::runtime_error);
+}
+
 TEST(PartitionIo, TextRejectsCountMismatch) {
   std::stringstream ss("# ebv partition p=2 edges=3\n0\n1\n");
   EXPECT_THROW(io::read_partition(ss), std::runtime_error);

@@ -1,0 +1,28 @@
+// Negative control: calls an EBV_REQUIRES lock-assuming helper without
+// holding the lock — the contract pattern used by
+// Server::respond_locked / reap_finished_sessions. MUST fail to
+// compile under -Werror=thread-safety.
+#include "common/sync.h"
+
+namespace {
+
+class Table {
+ public:
+  void reap() EBV_REQUIRES(mu_) { ++generation_; }
+
+  void tick() {
+    reap();  // BUG: caller does not hold mu_
+  }
+
+ private:
+  ebv::Mutex mu_;
+  int generation_ EBV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table t;
+  t.tick();
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Negative control: writes an EBV_GUARDED_BY member without holding
+// its mutex. MUST fail to compile under -Werror=thread-safety — this
+// is the test that the annotations haven't silently compiled away.
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int delta) {
+    value_ += delta;  // BUG: mu_ not held
+  }
+
+ private:
+  ebv::Mutex mu_;
+  int value_ EBV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Negative control: misuses the scoped lock helper — releases the
+// MutexLock mid-scope and then touches guarded state. MUST fail to
+// compile under -Werror=thread-safety (proves the EBV_SCOPED_CAPABILITY
+// acquire/release transfer on MutexLock::unlock is tracked).
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int delta) {
+    ebv::MutexLock lock(mu_);
+    lock.unlock();
+    value_ += delta;  // BUG: mu_ was released above
+  }
+
+ private:
+  ebv::Mutex mu_;
+  int value_ EBV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  return 0;
+}

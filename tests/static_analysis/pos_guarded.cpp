@@ -1,0 +1,33 @@
+// Positive control: fully-annotated guarded state, every access under
+// the lock. MUST compile cleanly with -Werror=thread-safety — if it
+// does not, the harness (not the tree) is broken.
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int delta) {
+    ebv::MutexLock lock(mu_);
+    value_ += delta;
+  }
+
+  int locked_get() EBV_REQUIRES(mu_) { return value_; }
+
+  int get() {
+    ebv::MutexLock lock(mu_);
+    return locked_get();
+  }
+
+ private:
+  ebv::Mutex mu_;
+  int value_ EBV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  return c.get() - 1;
+}

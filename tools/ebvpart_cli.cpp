@@ -423,6 +423,8 @@ std::vector<std::uint64_t> parse_id_list(const std::string& csv,
       throw std::invalid_argument("--" + flag + ": empty list entry");
     }
     std::size_t used = 0;
+    // ebvlint: allow(naked-number-parse): full-string validated below
+    // (used must consume every character) with a flag-named error.
     const std::uint64_t value = std::stoull(token, &used);
     if (used != token.size() || value > max_value) {
       throw std::invalid_argument("--" + flag + ": bad id '" + token + "'");
@@ -687,6 +689,8 @@ int cmd_query(const ArgMap& args) {
     }
     serve::encode_frame_header(h, header);
     serve::Client client(socket);
+    // ebvlint: allow(raw-read-boundary): outbound byte view of a frame
+    // header this test helper just encoded — not an input read.
     if (!client.send_raw({reinterpret_cast<const std::uint8_t*>(header),
                           sizeof(header)})) {
       throw std::runtime_error("send failed");
