@@ -125,6 +125,17 @@ RULES = [
         allowed_files=frozenset({"src/common/sync.h"}),
     ),
     Rule(
+        name="inline-metric-name",
+        description=(
+            "metrics registry lookup with an inline string literal — "
+            "metric names must be the kebab.dotted constants from "
+            "src/obs/metric_names.h (one grep-able catalogue whose "
+            "grammar is machine-checked; composites go through "
+            "obs::suffixed)"
+        ),
+        pattern=re.compile(r"\.(counter|gauge|histogram)\s*\(\s*\""),
+    ),
+    Rule(
         name="tempfile-unique-id",
         description=(
             "temp-file name built without process_unique_suffix() — "
@@ -136,6 +147,17 @@ RULES = [
         file_exempt=_uses_unique_suffix,
     ),
 ]
+
+# Every string literal in the metric-name catalogue must follow the
+# kebab.dotted grammar: lower-case kebab segments joined by dots, at
+# least two dot segments ("serve.queue-wait-ms"). The inline-metric-name
+# rule funnels all names through this file; this check is what makes the
+# funnel worth having.
+METRIC_NAME_FILE = "src/obs/metric_names.h"
+METRIC_NAME_RULE = "metric-name-format"
+METRIC_NAME_RE = re.compile(
+    r"^[a-z0-9]+(-[a-z0-9]+)*(\.[a-z0-9]+(-[a-z0-9]+)*)+$")
+STRING_LITERAL_RE = re.compile(r'"([^"\\]*)"')
 
 # ebv::Mutex declarations must have an annotation partner: the declared
 # name referenced by some EBV_* annotation in the same file (GUARDED_BY,
@@ -221,6 +243,21 @@ def lint_file(rel_path: str, raw_text: str):
                 continue
             findings.append(
                 Finding(rel_path, idx + 1, rule.name, rule.description))
+
+    # Grammar check for the metric-name catalogue itself.
+    if rel_path == METRIC_NAME_FILE:
+        for idx, line in enumerate(code_lines):
+            for m in STRING_LITERAL_RE.finditer(line):
+                name = m.group(1)
+                if METRIC_NAME_RE.match(name):
+                    continue
+                if METRIC_NAME_RULE in inline_allows(raw_lines, idx):
+                    continue
+                findings.append(Finding(
+                    rel_path, idx + 1, METRIC_NAME_RULE,
+                    f'metric name "{name}" is not kebab.dotted (lower-'
+                    f"case kebab segments joined by dots, at least two "
+                    f"segments, e.g. \"serve.queue-wait-ms\")"))
 
     # Annotation-partner check for ebv::Mutex declarations.
     if rel_path != "src/common/sync.h":

@@ -151,6 +151,45 @@ class TempfileUniqueIdTest(unittest.TestCase):
         self.assertEqual(rules_hit("src/common/x.cpp", text), [])
 
 
+class InlineMetricNameTest(unittest.TestCase):
+    def test_literal_registry_lookup_hit(self):
+        for call in ("counter", "gauge", "histogram"):
+            text = f'auto& m = registry_.{call}("serve.requests");\n'
+            self.assertIn("inline-metric-name",
+                          rules_hit("src/serve/server.cpp", text),
+                          call)
+
+    def test_constant_lookup_misses(self):
+        text = ("auto& m = registry_.counter(obs::names::kServeAccepted);\n"
+                "auto& h = registry_.histogram(\n"
+                "    obs::suffixed(obs::names::kServeLatencyMs, cls));\n")
+        self.assertEqual(rules_hit("src/serve/server.cpp", text), [])
+
+    def test_inline_allow(self):
+        text = ('// ebvlint: allow(inline-metric-name): test-only probe\n'
+                'auto& m = registry_.counter("x.y");\n')
+        self.assertEqual(rules_hit("src/serve/server.cpp", text), [])
+
+
+class MetricNameFormatTest(unittest.TestCase):
+    def test_kebab_dotted_names_pass(self):
+        text = ('inline constexpr const char* kA = "serve.queue-wait-ms";\n'
+                'inline constexpr const char* kB = "run.phase.compute-ms";\n')
+        self.assertEqual(rules_hit("src/obs/metric_names.h", text), [])
+
+    def test_bad_grammar_hits(self):
+        for bad in ("Serve.Latency", "serve_latency.ms", "singlesegment",
+                    "serve..double-dot", "serve.trailing-"):
+            text = f'inline constexpr const char* kX = "{bad}";\n'
+            self.assertIn("metric-name-format",
+                          rules_hit("src/obs/metric_names.h", text),
+                          bad)
+
+    def test_only_checked_in_catalogue_file(self):
+        text = 'std::string s = "NOT A METRIC NAME";\n'
+        self.assertEqual(rules_hit("src/serve/handlers.cpp", text), [])
+
+
 class DriverTest(unittest.TestCase):
     def test_scan_tree_exit_codes(self):
         with tempfile.TemporaryDirectory() as root:

@@ -1,6 +1,7 @@
 #include "analysis/render.h"
 
 #include "analysis/table.h"
+#include "bsp/runtime.h"
 #include "common/format.h"
 
 namespace ebv::analysis {
@@ -39,6 +40,48 @@ std::string format_run_table(const std::string& app_label,
   table.add_row(
       {"execution time", format_duration(result.run.execution_seconds)});
   return table.to_string();
+}
+
+std::string format_phase_stats_table(const bsp::RunStats& stats) {
+  Table table({"superstep", "compute", "route", "merge", "broadcast",
+               "install", "load", "release", "wall"});
+  // On a resumed run phase_wall only covers the post-restore supersteps,
+  // so the first row's absolute step number is offset accordingly.
+  const std::size_t first_step =
+      static_cast<std::size_t>(stats.supersteps) - stats.phase_wall.size();
+  bsp::PhaseWallStats total;
+  for (std::size_t i = 0; i < stats.phase_wall.size(); ++i) {
+    const bsp::PhaseWallStats& pw = stats.phase_wall[i];
+    table.add_row({std::to_string(first_step + i),
+                   format_duration(pw.compute_seconds),
+                   format_duration(pw.route_seconds),
+                   format_duration(pw.merge_seconds),
+                   format_duration(pw.broadcast_seconds),
+                   format_duration(pw.install_seconds),
+                   format_duration(pw.load_seconds),
+                   format_duration(pw.release_seconds),
+                   format_duration(pw.superstep_seconds)});
+    total.compute_seconds += pw.compute_seconds;
+    total.route_seconds += pw.route_seconds;
+    total.merge_seconds += pw.merge_seconds;
+    total.broadcast_seconds += pw.broadcast_seconds;
+    total.install_seconds += pw.install_seconds;
+    total.load_seconds += pw.load_seconds;
+    total.release_seconds += pw.release_seconds;
+    total.superstep_seconds += pw.superstep_seconds;
+  }
+  table.add_row({"total", format_duration(total.compute_seconds),
+                 format_duration(total.route_seconds),
+                 format_duration(total.merge_seconds),
+                 format_duration(total.broadcast_seconds),
+                 format_duration(total.install_seconds),
+                 format_duration(total.load_seconds),
+                 format_duration(total.release_seconds),
+                 format_duration(total.superstep_seconds)});
+  std::string out = table.to_string();
+  out += "run wall " + format_duration(stats.wall_seconds) + ", cpu " +
+         format_duration(stats.cpu_seconds) + "\n";
+  return out;
 }
 
 }  // namespace ebv::analysis

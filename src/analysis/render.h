@@ -23,4 +23,11 @@ std::string format_mmap_stats_table(const GraphStats& stats,
 std::string format_run_table(const std::string& app_label,
                              const ExperimentResult& result, bool include_raw);
 
+/// The `run --phase-stats` breakdown: one row per executed superstep
+/// with real wall seconds attributed to each scheduler task kind, a
+/// summed total row, and a wall/CPU footer. Additive output — printed
+/// AFTER the run table, never altering it (the bit-identity contract
+/// covers format_run_table alone).
+std::string format_phase_stats_table(const bsp::RunStats& stats);
+
 }  // namespace ebv::analysis

@@ -39,6 +39,7 @@
 #include "common/sync.h"
 #include "common/task_graph.h"
 #include "common/thread_annotations.h"
+#include "obs/trace.h"
 
 namespace ebv::bsp {
 
@@ -67,6 +68,7 @@ class SpillMailbox {
   template <typename Fn>
   void drain(Fn&& fn) {
     if (spilled_ > 0) {
+      const obs::trace::Span span("mailbox.drain", spilled_);
       out_.flush();
       if (!out_) fail_io("flush");
       out_.close();
@@ -128,6 +130,7 @@ class SpillMailbox {
 
  private:
   void flush() {
+    const obs::trace::Span span("mailbox.spill", buf_.size());
     if (!out_.is_open()) {
       out_.open(path_, std::ios::binary | std::ios::trunc);
       // The file may exist even when open fails half-way; from here on

@@ -19,11 +19,57 @@
 #include "common/task_graph.h"
 #include "common/timer.h"
 #include "common/unique_id.h"
+#include "obs/trace.h"
 
 namespace ebv::bsp {
 namespace {
 
 using MsgBox = SharedMailbox<WireMessage>;
+
+/// Relaxed add for the phase-wall accumulators (tasks of the same phase
+/// run concurrently under kParallel).
+void add_seconds(std::atomic<double>& slot, double seconds) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(cur, cur + seconds,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+/// Per-superstep phase accumulators (plain atomics, reduced into
+/// RunStats::phase_wall at the barrier).
+struct PhaseWallAccum {
+  std::atomic<double> compute{0.0};
+  std::atomic<double> route{0.0};
+  std::atomic<double> merge{0.0};
+  std::atomic<double> broadcast{0.0};
+  std::atomic<double> install{0.0};
+  std::atomic<double> load{0.0};
+  std::atomic<double> release{0.0};
+};
+
+/// RAII wall-clock attribution into one phase slot; a null slot (the
+/// phase-stats flag off, or outside the superstep loop) reads no clock
+/// at all, keeping the off path free.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::atomic<double>* slot) : slot_(slot) {
+    if (slot_ != nullptr) begin_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseTimer() {
+    if (slot_ != nullptr) {
+      add_seconds(*slot_,
+                  std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - begin_)
+                      .count());
+    }
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  std::atomic<double>* slot_;
+  std::chrono::steady_clock::time_point begin_{};
+};
 
 /// Ring capacity of the async push path's bounded channel; a push that
 /// finds the ring full falls back to the mutex-guarded spill mailbox
@@ -44,6 +90,12 @@ constexpr std::size_t kChannelCapacity = 1024;
 RunStats BspRuntime::run(const DistributedGraph& graph,
                          const SubgraphProgram& program) const {
   const Timer wall;
+  const double cpu_start = process_cpu_seconds();
+  // Phase-wall accumulator for the superstep currently executing; null
+  // whenever --phase-stats is off or between supersteps (the init and
+  // gather stages), so the instrumented lambdas below stay free.
+  std::atomic<double>* load_slot = nullptr;
+  std::atomic<double>* release_slot = nullptr;
   const PartitionId p = graph.num_workers();
   EBV_REQUIRE(p >= 1, "need at least one worker");
   options_.cost_model.validate();
@@ -99,6 +151,8 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
   auto ensure_loaded = [&](PartitionId first, PartitionId last,
                            bool with_csr) {
     if (!spilled) return;
+    const obs::trace::Span span("load", first);
+    const PhaseTimer phase(load_slot);
     for (PartitionId i = first; i < last; ++i) {
       if (cache[i] == nullptr) {
         // An unbounded budget loads every worker once, CSRs included,
@@ -117,6 +171,8 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
   };
   auto release = [&](PartitionId first, PartitionId last) {
     if (!spilled || !bounded) return;
+    const obs::trace::Span span("release", first);
+    const PhaseTimer phase(release_slot);
     for (PartitionId i = first; i < last; ++i) {
       if (cache[i] != nullptr) {
         cache[i].reset();
@@ -342,6 +398,11 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
 
   for (std::uint32_t step = start_step; step < options_.max_supersteps;
        ++step) {
+    PhaseWallAccum phase_accum;
+    if (options_.phase_stats) {
+      load_slot = &phase_accum.load;
+      release_slot = &phase_accum.release;
+    }
     std::vector<WorkerStepStats> step_stats(p);
     // Per-sender counters, reduced after the graph drains. All are
     // owner-indexed plain arrays ordered by task dependencies — except
@@ -368,6 +429,9 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
     // compute(i): the program's local compute plus the worker-local half
     // of emission routing — single-copy vertices resolve in place.
     auto compute_worker = [&](PartitionId i) {
+      const obs::trace::Span span("compute", i);
+      const PhaseTimer phase(options_.phase_stats ? &phase_accum.compute
+                                                  : nullptr);
       const LocalSubgraph& ls = sub(i);
       WorkerContext ctx(ls, values[i], acc[i], has_acc[i], emitted[i],
                         program);
@@ -400,6 +464,9 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
     // mailbox sees the historical append order; async folds the routing
     // into compute(i) and pushes through the concurrent path.
     auto route_worker = [&](PartitionId i) {
+      const obs::trace::Span span("route", i);
+      const PhaseTimer phase(options_.phase_stats ? &phase_accum.route
+                                                  : nullptr);
       const LocalSubgraph& ls = sub(i);
       for (const VertexId lv : emitted[i]) {
         if (ls.is_replicated[lv] == 0 || ls.is_master[lv] != 0) continue;
@@ -433,6 +500,9 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
     // peer. Strict mode runs these on their own ascending chain, gated
     // behind the route chain so the two never interleave counter writes.
     auto broadcast_worker = [&](PartitionId m) {
+      const obs::trace::Span span("broadcast", m);
+      const PhaseTimer phase(options_.phase_stats ? &phase_accum.broadcast
+                                                  : nullptr);
       for (const WireMessage& msg : bcast[m]) {
         for (const PartitionId peer : graph.parts_of(msg.global)) {
           if (peer == m) continue;
@@ -451,6 +521,9 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
     // merge(m): fold routed messages into the master's accumulators,
     // apply, and stage broadcasts for changed values.
     auto merge_worker = [&](PartitionId m) {
+      const obs::trace::Span span("merge", m);
+      const PhaseTimer phase(options_.phase_stats ? &phase_accum.merge
+                                                  : nullptr);
       const LocalSubgraph& ls = sub(m);
       to_master[m].drain([&](const WireMessage& msg) {
         const VertexId lv = ls.local_of(msg.global);
@@ -493,6 +566,9 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
 
     // install(i): mirrors adopt broadcast values.
     auto install_worker = [&](PartitionId i) {
+      const obs::trace::Span span("install", i);
+      const PhaseTimer phase(options_.phase_stats ? &phase_accum.install
+                                                  : nullptr);
       const LocalSubgraph& ls = sub(i);
       to_mirror[i].drain([&](const WireMessage& msg) {
         const VertexId lv = ls.local_of(msg.global);
@@ -644,7 +720,15 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
       }
     }
 
-    tg.run(team);
+    double superstep_wall = 0.0;
+    {
+      const obs::trace::Span span("superstep", step);
+      const Timer superstep_timer;
+      tg.run(team);
+      if (options_.phase_stats) superstep_wall = superstep_timer.seconds();
+    }
+    load_slot = nullptr;
+    release_slot = nullptr;
 
     // A crash inside the superstep (modelled by the injected abort)
     // reaches the outside world before any of this superstep's state is
@@ -683,6 +767,19 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
     }
     stats.steps.push_back(std::move(step_stats));
     ++stats.supersteps;
+    if (options_.phase_stats) {
+      PhaseWallStats pws;
+      pws.compute_seconds = phase_accum.compute.load(std::memory_order_relaxed);
+      pws.route_seconds = phase_accum.route.load(std::memory_order_relaxed);
+      pws.merge_seconds = phase_accum.merge.load(std::memory_order_relaxed);
+      pws.broadcast_seconds =
+          phase_accum.broadcast.load(std::memory_order_relaxed);
+      pws.install_seconds = phase_accum.install.load(std::memory_order_relaxed);
+      pws.load_seconds = phase_accum.load.load(std::memory_order_relaxed);
+      pws.release_seconds = phase_accum.release.load(std::memory_order_relaxed);
+      pws.superstep_seconds = superstep_wall;
+      stats.phase_wall.push_back(pws);
+    }
 
     const bool more_fixed = fixed.has_value() && step + 1 < *fixed;
     const bool done = fixed.has_value() ? !more_fixed : !any_change;
@@ -690,6 +787,7 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
     // the final superstep (a resumed converged run must not replay one).
     if (!done && checkpoint_on &&
         (step + 1) % options_.checkpoint_every == 0) {
+      const obs::trace::Span span("checkpoint.publish", step + 1);
       write_checkpoint(options_.checkpoint_dir,
                        collect_checkpoint(step + 1));
     }
@@ -721,6 +819,7 @@ RunStats BspRuntime::run(const DistributedGraph& graph,
   }
   stats.peak_resident_workers = resident_peak.load(std::memory_order_relaxed);
   stats.wall_seconds = wall.seconds();
+  stats.cpu_seconds = process_cpu_seconds() - cpu_start;
   return stats;
 }
 

@@ -8,6 +8,7 @@
 #include "common/assert.h"
 #include "common/parallel.h"
 #include "common/sync.h"
+#include "obs/trace.h"
 
 namespace ebv {
 namespace {
@@ -161,13 +162,20 @@ void TaskGraph::run(unsigned team_size) {
   };
 
   ThreadPool::global().run_team(team, [&](unsigned rank, unsigned t_size) {
+    // Give every rank its own trace track (tid rank+1; 0 is the caller)
+    // so spans emitted from task bodies nest per rank in the timeline.
+    const obs::trace::ThreadTrackGuard track(rank + 1);
     while (remaining.load(std::memory_order_acquire) > 0) {
       const std::uint64_t epoch = work_epoch.load();
       TaskId task = ranks[rank].pop_newest();
       for (unsigned off = 1; task == kNone && off < t_size; ++off) {
         task = ranks[(rank + off) % t_size].steal_oldest();
+        if (task != kNone && obs::trace::enabled()) {
+          obs::trace::instant("steal", (rank + off) % t_size);
+        }
       }
       if (task == kNone) {
+        if (obs::trace::enabled()) obs::trace::instant("park");
         parked.fetch_add(1);
         {
           MutexLock lock(park_mu);
@@ -177,6 +185,7 @@ void TaskGraph::run(unsigned team_size) {
           }
         }
         parked.fetch_sub(1);
+        if (obs::trace::enabled()) obs::trace::instant("unpark");
         continue;
       }
       if (!failed.load(std::memory_order_relaxed)) {

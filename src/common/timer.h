@@ -1,6 +1,11 @@
-// Wall-clock stopwatch used by instrumentation that reports real time
-// (partitioning overhead, total harness runtime). The BSP cluster itself is
-// timed with the deterministic virtual-time cost model in bsp/cost_model.h.
+// Monotonic stopwatch used by instrumentation that reports real elapsed
+// time (partitioning overhead, total harness runtime, obs:: trace spans).
+// The BSP cluster itself is timed with the deterministic virtual-time
+// cost model in bsp/cost_model.h.
+//
+// The clock is guaranteed steady (never steps backwards across NTP
+// adjustments — the static_assert below pins it), so trace timestamps
+// and phase-stats deltas are always non-negative.
 #pragma once
 
 #include <chrono>
@@ -22,7 +27,18 @@ class Timer {
 
  private:
   using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "Timer requires a monotonic clock: trace timestamps and "
+                "phase-stats deltas must never go backwards");
   Clock::time_point start_;
 };
+
+/// CPU seconds consumed by the whole process (every thread) since it
+/// started. Paired with Timer wall readings in the `run --phase-stats`
+/// footer to show parallel efficiency (cpu/wall ≈ busy cores).
+[[nodiscard]] double process_cpu_seconds();
+
+/// CPU seconds consumed by the calling thread since it started.
+[[nodiscard]] double thread_cpu_seconds();
 
 }  // namespace ebv

@@ -84,6 +84,11 @@ std::string Client::run(const RunRequest& req) {
   return {body.begin(), body.end()};
 }
 
+std::string Client::metrics() {
+  const auto body = call(MsgType::kMetrics, {});
+  return {body.begin(), body.end()};
+}
+
 bool Client::send_raw(std::span<const std::uint8_t> bytes) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
@@ -132,6 +137,7 @@ std::vector<ReplicaInfo> Client::replicas(const ReplicasRequest&) {
   return {};
 }
 std::string Client::run(const RunRequest&) { return {}; }
+std::string Client::metrics() { return {}; }
 bool Client::send_raw(std::span<const std::uint8_t>) { return false; }
 ReadFrameResult Client::read_response() { return {}; }
 

@@ -53,6 +53,9 @@ class Client {
   std::vector<PartitionId> partition_of(const PartitionRequest& req);
   std::vector<ReplicaInfo> replicas(const ReplicasRequest& req);
   std::string run(const RunRequest& req);
+  /// The daemon's live observability report (per-class latency table +
+  /// metrics registry), rendered server-side by the drain renderer.
+  std::string metrics();
 
   /// Write arbitrary bytes on the socket, bypassing the frame encoder —
   /// the hostile-input tests use this to send malformed frames.

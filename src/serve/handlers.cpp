@@ -289,6 +289,10 @@ std::vector<std::uint8_t> handle_request(const ServeContext& context,
     }
     case MsgType::kPing:
       throw ProtocolError("ping is answered inline and never dispatched");
+    case MsgType::kMetrics:
+      // The report needs the live Server counters, which pure handlers
+      // cannot see — the session reader answers it inline like kPing.
+      throw ProtocolError("metrics is answered inline and never dispatched");
   }
   throw ProtocolError("unknown message type " +
                       std::to_string(static_cast<unsigned>(type)));

@@ -64,6 +64,7 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kPartition: return "partition";
     case MsgType::kReplicas: return "replicas";
     case MsgType::kRun: return "run";
+    case MsgType::kMetrics: return "metrics";
   }
   return "unknown";
 }
@@ -98,14 +99,15 @@ RequestClass class_of(MsgType type) {
     case MsgType::kPartition:
     case MsgType::kReplicas: return RequestClass::kLookup;
     case MsgType::kRun: return RequestClass::kRun;
-    case MsgType::kPing: break;  // answered inline, never queued
+    case MsgType::kPing:
+    case MsgType::kMetrics: break;  // answered inline, never queued
   }
   throw ProtocolError(std::string("message type has no admission class: ") +
                       msg_type_name(type));
 }
 
 bool is_known_type(std::uint16_t type) {
-  return type <= static_cast<std::uint16_t>(MsgType::kRun);
+  return type <= static_cast<std::uint16_t>(MsgType::kMetrics);
 }
 
 void encode_frame_header(const FrameHeader& header,

@@ -63,6 +63,7 @@ enum class MsgType : std::uint16_t {
   kPartition = 4,  // batched edge -> part lookup from the .ebvp
   kReplicas = 5,   // batched vertex -> master + replica parts lookup
   kRun = 6,        // per-request BSP app on the snapshot (or a subgraph)
+  kMetrics = 7,    // live metrics report (rendered text); never queued
 };
 
 enum class Status : std::uint16_t {

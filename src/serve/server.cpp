@@ -16,18 +16,11 @@
 #include "analysis/table.h"
 #include "common/format.h"
 #include "common/parallel.h"
+#include "obs/metric_names.h"
+#include "obs/trace.h"
 
 namespace ebv::serve {
 namespace {
-
-/// Nearest-rank percentile of an ascending-sorted sample, in the same
-/// unit as the sample. 0 for an empty sample.
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const auto rank = static_cast<std::size_t>(
-      q * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(rank, sorted.size() - 1)];
-}
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
@@ -60,6 +53,21 @@ Server::Server(ServeContext context, ServerConfig config)
         std::make_unique<BoundedChannel<std::shared_ptr<PendingRequest>>>(
             std::max<std::uint32_t>(config_.queue_depth[c], 1));
   }
+
+  // Register every instrument before any thread starts, then record
+  // through the cached pointers lock-free.
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    const auto cls = class_name(static_cast<RequestClass>(c));
+    wait_ms_[c] =
+        &registry_.histogram(obs::suffixed(obs::names::kServeQueueWaitMs, cls));
+    handler_ms_[c] =
+        &registry_.histogram(obs::suffixed(obs::names::kServeHandlerMs, cls));
+    latency_ms_[c] =
+        &registry_.histogram(obs::suffixed(obs::names::kServeLatencyMs, cls));
+  }
+  sessions_accepted_ = &registry_.counter(obs::names::kServeSessionsAccepted);
+  malformed_frames_ = &registry_.counter(obs::names::kServeFramesMalformed);
+  metrics_requests_ = &registry_.counter(obs::names::kServeMetricsRequests);
 
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw_errno("socket(" + config_.socket_path + ")");
@@ -128,7 +136,7 @@ void Server::accept_loop() {
     }
     auto session = std::make_shared<Session>();
     session->fd = fd;
-    sessions_accepted_.fetch_add(1, std::memory_order_relaxed);
+    sessions_accepted_->add();
     session->reader =
         std::thread([this, session] { session_loop(session); });
     sessions_.push_back(std::move(session));
@@ -181,7 +189,7 @@ void Server::session_loop(const std::shared_ptr<Session>& session) {
     if (frame.outcome == ReadOutcome::kMalformed) {
       // Bad magic/version or hostile body_len: the stream cannot be
       // trusted past the header, so answer once and hang up.
-      malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+      malformed_frames_->add();
       const MsgType echo = is_known_type(frame.header.type)
                                ? static_cast<MsgType>(frame.header.type)
                                : MsgType::kPing;
@@ -203,6 +211,22 @@ void Server::session_loop(const std::shared_ptr<Session>& session) {
     if (type == MsgType::kPing) {
       if (!respond(*session, MsgType::kPing, Status::kOk,
                    frame.header.request_id, {})) {
+        break;
+      }
+      continue;
+    }
+
+    if (type == MsgType::kMetrics) {
+      // Answered inline like kPing — the report is a cheap read-only
+      // snapshot and must stay available while the daemon is running
+      // (including mid-drain), not only at the SIGTERM drain print.
+      metrics_requests_->add();
+      const std::string report = metrics_report();
+      // ebvlint: allow(raw-read-boundary): outbound byte view of a
+      // string this function owns — serialisation, not an unbounded read.
+      const auto* bytes = reinterpret_cast<const std::uint8_t*>(report.data());
+      if (!respond(*session, MsgType::kMetrics, Status::kOk,
+                   frame.header.request_id, {bytes, report.size()})) {
         break;
       }
       continue;
@@ -302,6 +326,14 @@ void Server::worker_loop(unsigned rank) {
 
 void Server::process(const PendingRequest& request) {
   const auto cls = static_cast<std::size_t>(class_of(request.type));
+  // Split the admission-queue wait (enqueue → here) from handler time so
+  // the registry can attribute latency to queueing vs execution.
+  const auto picked_up = std::chrono::steady_clock::now();
+  wait_ms_[cls]->record(std::chrono::duration<double, std::milli>(
+                            picked_up - request.enqueued)
+                            .count());
+  obs::trace::complete("serve.queue-wait", request.enqueued, picked_up, cls);
+  const obs::trace::Span span("serve.handler", cls);
   Status status = Status::kOk;
   std::vector<std::uint8_t> body;
   std::string error;
@@ -326,15 +358,15 @@ void Server::process(const PendingRequest& request) {
     error = e.what();
   }
 
+  const auto finished = std::chrono::steady_clock::now();
+  handler_ms_[cls]->record(
+      std::chrono::duration<double, std::milli>(finished - picked_up).count());
+
   if (status == Status::kOk) {
     counters_[cls].completed.fetch_add(1, std::memory_order_relaxed);
-    const double ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - request.enqueued)
-                          .count();
-    {
-      MutexLock lock(lat_mu_);
-      latencies_ms_[cls].push_back(ms);
-    }
+    latency_ms_[cls]->record(std::chrono::duration<double, std::milli>(
+                                 finished - request.enqueued)
+                                 .count());
     respond(*request.session, request.type, Status::kOk, request.request_id,
             body);
   } else {
@@ -393,15 +425,11 @@ void Server::wait() {
 
 ServerStats Server::stats() const {
   ServerStats out;
-  {
-    MutexLock lock(lat_mu_);
-    for (std::size_t c = 0; c < kNumClasses; ++c) {
-      std::vector<double> sorted = latencies_ms_[c];
-      std::sort(sorted.begin(), sorted.end());
-      out.classes[c].p50_ms = percentile(sorted, 0.50);
-      out.classes[c].p95_ms = percentile(sorted, 0.95);
-      out.classes[c].p99_ms = percentile(sorted, 0.99);
-    }
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    const obs::HistogramSnapshot lat = latency_ms_[c]->snapshot();
+    out.classes[c].p50_ms = lat.quantile(0.50);
+    out.classes[c].p95_ms = lat.quantile(0.95);
+    out.classes[c].p99_ms = lat.quantile(0.99);
   }
   for (std::size_t c = 0; c < kNumClasses; ++c) {
     const ClassCounters& k = counters_[c];
@@ -416,12 +444,17 @@ ServerStats Server::stats() const {
     out.classes[c].depth_high_water =
         k.depth_high_water.load(std::memory_order_relaxed);
   }
-  out.sessions_accepted = sessions_accepted_.load(std::memory_order_relaxed);
-  out.malformed_frames = malformed_frames_.load(std::memory_order_relaxed);
+  out.sessions_accepted = sessions_accepted_->value();
+  out.malformed_frames = malformed_frames_->value();
   out.uptime_seconds = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - started_)
                            .count();
   return out;
+}
+
+std::string Server::metrics_report() const {
+  return stats().to_table() + "\n" +
+         obs::format_metrics_table(registry_.snapshot());
 }
 
 }  // namespace ebv::serve
@@ -439,6 +472,7 @@ Server::~Server() = default;
 void Server::request_stop() {}
 void Server::wait() {}
 ServerStats Server::stats() const { return {}; }
+std::string Server::metrics_report() const { return {}; }
 
 }  // namespace ebv::serve
 

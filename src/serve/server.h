@@ -34,6 +34,7 @@
 #include "common/sync.h"
 #include "common/task_graph.h"
 #include "common/thread_annotations.h"
+#include "obs/metrics.h"
 #include "serve/handlers.h"
 #include "serve/protocol.h"
 
@@ -49,8 +50,8 @@ struct ServerConfig {
   std::uint32_t max_sessions = 64;
 };
 
-/// Monotonic per-class counters plus completed-request latencies.
-/// `depth`/`depth_high_water` observe the admission queue (the
+/// Monotonic per-class counters (latencies live in the server's metrics
+/// registry). `depth`/`depth_high_water` observe the admission queue (the
 /// BoundedChannel capacity is what *enforces* the bound; these exist so
 /// the stress test and the stats table can see it was never exceeded).
 struct ClassCounters {
@@ -115,6 +116,17 @@ class Server {
   /// Point-in-time counters; callable while serving.
   [[nodiscard]] ServerStats stats() const;
 
+  /// The full observability report: the per-class table from stats()
+  /// followed by the metrics registry (queue-wait vs handler latency
+  /// split, session/frame counters). One renderer for both surfaces —
+  /// the drain print and the live kMetrics response return exactly this
+  /// string, so `ebvpart query metrics` always matches the drain table.
+  [[nodiscard]] std::string metrics_report() const;
+
+  /// The server's private metrics registry (per-instance, so tests
+  /// running several servers in one process do not cross-pollute).
+  [[nodiscard]] const obs::Registry& registry() const { return registry_; }
+
  private:
   struct Session {
     int fd = -1;
@@ -164,13 +176,22 @@ class Server {
              kNumClasses>
       queues_;
   std::array<ClassCounters, kNumClasses> counters_;
-  mutable Mutex lat_mu_;
-  /// Completed-request latencies, appended by workers.
-  std::array<std::vector<double>, kNumClasses> latencies_ms_
-      EBV_GUARDED_BY(lat_mu_);
 
-  std::atomic<std::uint64_t> sessions_accepted_{0};
-  std::atomic<std::uint64_t> malformed_frames_{0};
+  /// Latency + session instruments live in the registry (folded there so
+  /// `query metrics` can render them from a RUNNING daemon, not only at
+  /// drain). The pointers below are registered once in the constructor —
+  /// stable for the server's lifetime — and recorded through lock-free.
+  obs::Registry registry_;
+  /// Admission-queue wait (enqueue → worker pickup) per class, ms.
+  std::array<obs::Histogram*, kNumClasses> wait_ms_{};
+  /// Handler execution time per class, ms (all processed requests).
+  std::array<obs::Histogram*, kNumClasses> handler_ms_{};
+  /// End-to-end latency of COMPLETED (kOk) requests per class, ms — the
+  /// source of the stats() table's p50/p95/p99 columns.
+  std::array<obs::Histogram*, kNumClasses> latency_ms_{};
+  obs::Counter* sessions_accepted_ = nullptr;
+  obs::Counter* malformed_frames_ = nullptr;
+  obs::Counter* metrics_requests_ = nullptr;
   std::chrono::steady_clock::time_point started_;
 
   std::atomic<bool> draining_{false};

@@ -357,6 +357,25 @@ TEST_F(ServeProtocolTest, UnknownTypeGetsErrorFrameKeepsConnection) {
   EXPECT_NO_THROW(client.ping());
 }
 
+TEST_F(ServeProtocolTest, MetricsIsAnsweredInlineAndReflectsTraffic) {
+  Client client(server_->socket_path());
+  (void)client.stats(0);
+  const std::string report = client.metrics();
+  // Both halves of the report: the per-class stats table and the
+  // registry rows (kebab.dotted metric names from obs/metric_names.h).
+  EXPECT_NE(report.find("class"), std::string::npos);
+  EXPECT_NE(report.find("serve.queue-wait-ms.stats"), std::string::npos);
+  EXPECT_NE(report.find("serve.handler-ms.stats"), std::string::npos);
+  EXPECT_NE(report.find("serve.sessions-accepted"), std::string::npos);
+  // The stats request this test made is visible in the histograms.
+  EXPECT_NE(report.find("n=1 p50="), std::string::npos);
+  // metrics is never queued: the request class mapping must reject it.
+  EXPECT_THROW((void)class_of(MsgType::kMetrics), ProtocolError);
+  EXPECT_TRUE(is_known_type(static_cast<std::uint16_t>(MsgType::kMetrics)));
+  EXPECT_FALSE(is_known_type(
+      static_cast<std::uint16_t>(MsgType::kMetrics) + 1));
+}
+
 TEST_F(ServeProtocolTest, LookupWithoutPartitionIsBadRequest) {
   Client client(server_->socket_path());
   PartitionRequest req;

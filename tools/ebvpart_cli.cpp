@@ -43,6 +43,7 @@
 #include "graph/snapshot_convert.h"
 #include "graph/stats.h"
 #include "common/unique_id.h"
+#include "obs/trace.h"
 #include "partition/metrics.h"
 #include "partition/partition_io.h"
 #include "partition/registry.h"
@@ -67,6 +68,25 @@ constexpr std::uint64_t kU32Max = std::numeric_limits<std::uint32_t>::max();
 // kInvalidPartition) so a maximal value can't alias "invalid".
 constexpr std::uint64_t kVertexMax = kInvalidVertex - 1;
 constexpr std::uint64_t kPartsMax = kInvalidPartition - 1;
+
+/// `--trace PATH` support shared by convert/partition/run: arms the span
+/// tracer before the command's work and writes the Chrome trace-event
+/// JSON afterwards. The "wrote trace" notice goes to STDERR — traced
+/// stdout must stay byte-identical to the untraced run (the CI e2e
+/// diffs them).
+std::string trace_path_from(const ArgMap& args) {
+  // Not via cli::get — an empty fallback there means "required flag".
+  const std::string path =
+      args.count("trace") != 0 ? args.at("trace") : std::string();
+  if (!path.empty()) obs::trace::start();
+  return path;
+}
+
+void finish_trace(const std::string& path) {
+  if (path.empty()) return;
+  obs::trace::stop_and_write(path);
+  std::cerr << "wrote trace " << path << "\n";
+}
 
 Graph load_graph(const std::string& path) {
   if (path.ends_with(".ebvg")) return io::read_binary_file(path);
@@ -149,10 +169,16 @@ int cmd_convert(const ArgMap& args) {
     sweep_stale_temp_files(run_dir.string());
   }
 
+  const std::string trace_path = trace_path_from(args);
   const Timer timer;
-  const io::ConvertStats s =
-      io::convert_edge_list_to_snapshot(in, out, options);
+  io::ConvertStats s;
+  {
+    // Coarse command-level span; the converter has no internal spans yet.
+    const obs::trace::Span span("convert");
+    s = io::convert_edge_list_to_snapshot(in, out, options);
+  }
   const double elapsed = timer.seconds();
+  finish_trace(trace_path);
 
   analysis::Table table({"metric", "value"});
   table.add_row({"input", in});
@@ -249,22 +275,35 @@ int cmd_partition(const ArgMap& args) {
   // resident Graph. Both produce bit-identical partitions for the same
   // snapshot.
   const bool use_mmap = args.count("mmap") != 0;
+  const std::string trace_path = trace_path_from(args);
   EdgePartition partition;
   PartitionMetrics m;
   double elapsed = 0.0;
   if (use_mmap) {
     const MappedGraph mapped = open_mapped(args.at("mmap"));
     const Timer timer;
-    partition = make_partitioner(algo)->partition_view(mapped.view(), config);
+    {
+      // Coarse command-level span (the streaming partitioners have no
+      // internal spans); metric computation is traced separately.
+      const obs::trace::Span span("partition");
+      partition =
+          make_partitioner(algo)->partition_view(mapped.view(), config);
+    }
     elapsed = timer.seconds();
+    const obs::trace::Span span("partition.metrics");
     m = compute_metrics(mapped.view(), partition);
   } else {
     const Graph graph = load_graph(get(args, "graph"));
     const Timer timer;
-    partition = make_partitioner(algo)->partition(graph, config);
+    {
+      const obs::trace::Span span("partition");
+      partition = make_partitioner(algo)->partition(graph, config);
+    }
     elapsed = timer.seconds();
+    const obs::trace::Span span("partition.metrics");
     m = compute_metrics(graph, partition);
   }
+  finish_trace(trace_path);
 
   analysis::Table table({"metric", "value"});
   table.add_row({"algorithm", algo});
@@ -347,6 +386,13 @@ int cmd_run(const ArgMap& args) {
       kU32Max));
   options.resume = get(args, "resume", "0") != "0";
 
+  // --phase-stats 1 collects a per-superstep wall breakdown by scheduler
+  // task kind and prints it AFTER the run table (additive; the default
+  // table stays byte-identical). --trace PATH writes a Chrome
+  // trace-event JSON of the whole run (task spans, load/release, steal
+  // and park instants) — stdout is unchanged, the notice goes to stderr.
+  options.phase_stats = get(args, "phase-stats", "0") != "0";
+
   // Reclaim temp files (mailbox overflow, EBVW spill snapshots,
   // checkpoint temps) a killed run left behind, before we create ours.
   sweep_stale_temp_files(
@@ -370,6 +416,7 @@ int cmd_run(const ArgMap& args) {
   }
   const GraphView view = use_mmap ? mapped->view() : GraphView(resident);
 
+  const std::string trace_path = trace_path_from(args);
   analysis::ExperimentResult result;
   if (args.count("partition") != 0) {
     const EdgePartition partition =
@@ -389,10 +436,15 @@ int cmd_run(const ArgMap& args) {
                                             options);
   }
 
+  finish_trace(trace_path);
+
   // Shared renderer: the serve daemon's kRun responses go through the
   // same function, so daemon output is byte-identical to this command.
   std::cout << analysis::format_run_table(app_name, result,
                                           options.combine_messages);
+  if (options.phase_stats) {
+    std::cout << analysis::format_phase_stats_table(result.run);
+  }
   return 0;
 }
 
@@ -552,7 +604,9 @@ int cmd_serve(const ArgMap& args) {
   std::cout << "draining..." << std::endl;
   server.request_stop();
   server.wait();
-  std::cout << server.stats().to_table();
+  // The drain report and the live kMetrics response are the same string
+  // (one renderer), so `ebvpart query --op metrics` always matches this.
+  std::cout << server.metrics_report();
   for (const std::string& file : spill_files) {
     std::error_code ec;
     std::filesystem::remove(file, ec);
@@ -575,6 +629,14 @@ int cmd_query(const ArgMap& args) {
   if (op == "stats") {
     serve::Client client(socket);
     std::cout << client.stats(graph_index);
+    return 0;
+  }
+  if (op == "metrics") {
+    // Live observability report from a RUNNING daemon: the per-class
+    // stats table plus the metrics registry, rendered server-side by the
+    // same function as the drain print.
+    serve::Client client(socket);
+    std::cout << client.metrics();
     return 0;
   }
   if (op == "degree") {
@@ -848,7 +910,7 @@ void print_usage(std::ostream& out) {
          "            [--side L (road)] [--attach K (ba)]\n"
          "  convert   --in edges.txt|g.ebvg --out g.ebvs\n"
          "            [--budget-mb MB] [--threads T] [--dedup 0|1]\n"
-         "            [--keep-self-loops 0|1] [--tmp DIR]\n"
+         "            [--keep-self-loops 0|1] [--tmp DIR] [--trace t.json]\n"
          "            external-merge-sort a text edge list into a page-\n"
          "            aligned EBVS snapshot under a bounded memory budget\n"
          "  stats     --graph g.{ebvg,ebvs,txt} [--deep 1]\n"
@@ -857,13 +919,14 @@ void print_usage(std::ostream& out) {
          "            [--algo ebv] [--parts 8] [--alpha A] [--beta B]\n"
          "            [--order sorted|natural|desc|random] [--seed S]\n"
          "            [--threads T] [--batch B] [--out p.ebvp]\n"
+         "            [--trace t.json]\n"
          "  run       --graph g.{ebvg,ebvs,txt} | --mmap g.ebvs\n"
          "            --app cc|pr|sssp [--threads T]\n"
          "            (--partition p.ebvp | [--algo ebv] [--parts 8])\n"
          "            [--resident-workers K] [--spill-dir DIR] [--combine 0|1]\n"
          "            [--async 0|1] [--prefetch 0|1]\n"
          "            [--checkpoint-dir DIR] [--checkpoint-every N]\n"
-         "            [--resume 0|1]\n"
+         "            [--resume 0|1] [--trace t.json] [--phase-stats 0|1]\n"
          "  serve     --mmap g.ebvs[,h.ebvs...] [--partition p.ebvp[,...]]\n"
          "            [--socket PATH] [--workers N] [--queues S,D,N,L,R]\n"
          "            [--max-sessions N] [--neighbor-limit N]\n"
@@ -871,7 +934,7 @@ void print_usage(std::ostream& out) {
          "            long-lived daemon serving EBVQ queries over a unix\n"
          "            socket; drains gracefully on SIGTERM/SIGINT and\n"
          "            prints a per-class stats table\n"
-         "  query     --socket PATH --op ping|stats|degree|neighbors|\n"
+         "  query     --socket PATH --op ping|stats|metrics|degree|neighbors|\n"
          "            partition|replicas|run|badframe|burst|bench\n"
          "            [--graph-index I] [--vertices A,B,...] [--edges A,B,...]\n"
          "            [--source V] [--hops K] [--limit N] [--app cc|pr|sssp]\n"
@@ -891,6 +954,13 @@ void print_usage(std::ostream& out) {
          "every --checkpoint-every N supersteps (default 1 once a dir is\n"
          "given); --resume 1 restarts from the newest readable checkpoint\n"
          "and finishes bit-identically to the uninterrupted run.\n"
+         "--trace t.json (convert/partition/run) writes a Chrome\n"
+         "trace-event JSON of the command (open in Perfetto or\n"
+         "chrome://tracing); stdout stays byte-identical to the untraced\n"
+         "run. run --phase-stats 1 appends a per-superstep wall breakdown\n"
+         "by scheduler task kind; query --op metrics renders a running\n"
+         "daemon's live latency + counter registry (same renderer as the\n"
+         "drain table).\n"
          "--failpoints SPEC (any command; or EBV_FAILPOINTS) injects\n"
          "deterministic I/O faults for testing — see docs/CLI.md.\n"
          "Formats: docs/FORMATS.md; full flag reference: docs/CLI.md.\n";
